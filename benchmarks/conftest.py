@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper.  Experiments
+are deterministic, seeded, and far heavier than micro-benchmarks, so
+every bench runs exactly once (``rounds=1``) — pytest-benchmark then
+reports the wall-clock cost of regenerating that artifact, and the bench
+body asserts the paper's qualitative shape and prints the reproduced
+rows/series.
+"""
+
+import pytest
+
+from repro.experiments.config import quick
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The quick experiment preset shared by all benches."""
+    return quick(seed=7)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

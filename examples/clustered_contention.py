@@ -1,0 +1,74 @@
+"""Clustered contention: when and why ICMA beats IUPMA.
+
+Many real sites are not uniformly loaded — they idle most of the day,
+run moderate load during business hours, and spike during batch windows.
+The paper models this as a clustered contention distribution and offers
+ICMA (clustering-based state determination) for it.
+
+This example samples one query class in such an environment, prints the
+Figure-10-style histogram of probing costs, shows the state boundaries
+each algorithm picks, and scores both models on the same test queries.
+
+Run:  python examples/clustered_contention.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CostModelBuilder,
+    G2,
+    StatesConfig,
+    agglomerate,
+    determine_states_icma,
+    determine_states_iupma,
+    validate_model,
+)
+from repro.experiments import ascii_histogram
+from repro.workload import make_site
+
+
+def main() -> None:
+    site = make_site("clustered_site", environment_kind="clustered", scale=0.02, seed=41)
+    builder = CostModelBuilder(site.database)
+
+    print("sampling G2 queries under clustered contention ...")
+    train = builder.collect(site.generator.queries_for(G2, 170))
+    test = builder.collect(site.generator.queries_for(G2, 60))
+
+    probing = np.array([o.probing_cost for o in train])
+    print()
+    print(ascii_histogram(probing.tolist(), bins=16,
+                          title="probing-cost histogram (Figure 10 analogue)"))
+
+    clusters = agglomerate(probing.tolist(), 3)
+    print("\nagglomerative clusters (centroid linkage):")
+    for c in clusters:
+        print(f"  [{c.minimum:.3f}, {c.maximum:.3f}]  n={c.count}  centroid={c.centroid:.3f}")
+
+    names = G2.variables.basic
+    X = np.array([[o.values[n] for n in names] for o in train])
+    y = np.array([o.cost for o in train])
+    config = StatesConfig()
+    iupma = determine_states_iupma(X, y, probing, names, config)
+    icma = determine_states_icma(X, y, probing, names, config)
+    print(f"\nIUPMA states: {iupma.states.describe()}")
+    print(f"ICMA  states: {icma.states.describe()}")
+
+    print()
+    for algorithm in ("iupma", "icma"):
+        model = builder.build_from_observations(train, G2, algorithm).model
+        report = validate_model(model, test)
+        print(
+            f"{algorithm.upper():5s}: {model.num_states} states, "
+            f"R2={report.r_squared:.3f}, very good {report.pct_very_good:.0f}%, "
+            f"good {report.pct_good:.0f}%"
+        )
+    print(
+        "\nICMA's boundaries track the load clusters, so each state's "
+        "equation fits a\nnarrow contention band instead of an arbitrary "
+        "uniform slice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Why static cost models fail in dynamic environments — and the fix.
+
+Reproduces the paper's central comparison (its Table 5) on one query
+class: derive three cost models for the same local database —
+
+* **static**       — the static query sampling method, trained in a
+                     static (idle) environment (Static Approach 1);
+* **one-state**    — the static method applied to dynamic-environment
+                     samples (Static Approach 2);
+* **multi-states** — the paper's method: contention states from IUPMA +
+                     a qualitative variable in the regression;
+
+then scores all three on the same dynamic test queries.
+
+Run:  python examples/dynamic_calibration.py
+"""
+
+from repro.core import CostModelBuilder, G2, validate_model
+from repro.experiments import format_table
+from repro.workload import make_site
+
+
+def main() -> None:
+    # Two sites over the IDENTICAL database (same seed): one idle, one
+    # under uniformly dynamic load.
+    dynamic = make_site("site_dyn", environment_kind="uniform", scale=0.02, seed=23)
+    static = make_site("site_static", environment_kind="static", scale=0.02, seed=23)
+
+    dyn_builder = CostModelBuilder(dynamic.database)
+    static_builder = CostModelBuilder(static.database)
+
+    print("sampling G2 (non-clustered index scan) queries ...")
+    dyn_obs = dyn_builder.collect(dynamic.generator.queries_for(G2, 170))
+    static_obs = static_builder.collect(static.generator.queries_for(G2, 70))
+    test_obs = dyn_builder.collect(dynamic.generator.queries_for(G2, 60))
+
+    multi = dyn_builder.build_from_observations(dyn_obs, G2, "iupma").model
+    one_state = dyn_builder.build_from_observations(dyn_obs, G2, "static").model
+    static_model = static_builder.build_from_observations(static_obs, G2, "static").model
+
+    rows = []
+    for name, model in (
+        ("multi-states", multi),
+        ("one-state", one_state),
+        ("static", static_model),
+    ):
+        report = validate_model(model, test_obs)
+        rows.append(
+            (
+                name,
+                model.num_states,
+                report.r_squared,
+                report.standard_error,
+                report.pct_very_good,
+                report.pct_good,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("model", "# states", "R2 (train)", "SEE", "very good %", "good %"),
+            rows,
+            title=f"G2 on {dynamic.name}: estimate quality on dynamic test queries",
+        )
+    )
+
+    print(
+        "\nThe static model fits its own (static) training data almost perfectly\n"
+        "yet misses nearly every dynamic execution; the one-state model splits\n"
+        "the difference badly; the multi-states model tracks the contention."
+    )
+    print("\nmulti-states model detail:")
+    print(multi.equation_table())
+
+
+if __name__ == "__main__":
+    main()

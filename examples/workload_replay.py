@@ -1,0 +1,93 @@
+"""Operating a calibrated site over time: replay + maintenance.
+
+Simulates a day in the life of one local site in the MDBS:
+
+1. derive multi-states cost models for the classes the workload uses;
+2. replay a mixed, timed query workload while the contention level keeps
+   moving — each query is estimated *just in time* (fresh probing cost)
+   exactly as the global optimizer would;
+3. let the database change (bulk growth + a new index — §2's
+   occasionally-changing factors) and watch the :class:`ModelMaintainer`
+   detect it and re-derive the affected models.
+
+Run:  python examples/workload_replay.py
+"""
+
+from repro.core import (
+    ChangeDetector,
+    CostModelBuilder,
+    G1,
+    G2,
+    ModelMaintainer,
+)
+from repro.workload import WorkloadTrace, make_site, replay_trace
+
+
+def main() -> None:
+    site = make_site("ops_site", environment_kind="uniform", scale=0.02, seed=29)
+    builder = CostModelBuilder(site.database)
+
+    print("deriving cost models for the workload's classes (G1, G2) ...")
+    maintainer = ModelMaintainer(
+        builder,
+        detector=ChangeDetector(site.database, cardinality_drift=0.2),
+        rebuild_period_seconds=500_000.0,
+    )
+    for query_class in (G1, G2):
+        outcome = maintainer.register(
+            query_class,
+            lambda n, qc=query_class: site.generator.queries_for(qc, n),
+            sample_count=140,
+        )
+        print(
+            f"  {query_class.label}: {outcome.model.num_states} states, "
+            f"R2={outcome.model.r_squared:.3f}"
+        )
+
+    print("\nreplaying a 2-hour mixed workload (40 queries) ...")
+    trace = WorkloadTrace.mixed(
+        site.generator, {G1: 25, G2: 15}, duration_seconds=7200.0, seed=5
+    )
+    models = {label: outcome.model for label, outcome in maintainer.models.items()}
+    report = replay_trace(site.database, trace, models, builder.probe)
+    print(
+        f"  estimates: {report.pct_very_good:.0f}% very good, "
+        f"{report.pct_good:.0f}% good across contention levels "
+        f"{min(r.contention_level for r in report.records):.2f}.."
+        f"{max(r.contention_level for r in report.records):.2f}"
+    )
+    for label, records in sorted(report.by_class().items()):
+        errors = [r.rel_error for r in records if r.covered]
+        print(
+            f"  {label}: {len(records)} queries, "
+            f"median rel err {sorted(errors)[len(errors) // 2]:.2f}"
+        )
+
+    print("\nnow the database changes: R1 grows 60% and gains an index ...")
+    table = site.database.catalog.table("R1")
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    rows = table.rows()
+    for _ in range(int(table.cardinality * 0.6)):
+        table.insert(rows[int(rng.integers(0, len(rows)))])
+    site.database.create_index("R1_nc_a5", "R1", "a5")
+    site.database.analyze()
+
+    due = maintainer.due()
+    print("maintenance finds models due for rebuild:")
+    for label, reasons in due.items():
+        for reason in reasons[:3]:
+            print(f"  {label}: {reason}")
+    rebuilt = maintainer.maintain()
+    for label, outcome in rebuilt.items():
+        print(
+            f"rebuilt {label}: {outcome.model.num_states} states, "
+            f"R2={outcome.model.r_squared:.3f}"
+        )
+    print("\n(the frequently-changing load needed no rebuild at all — the")
+    print("qualitative variable absorbs it; only catalog-level drift does.)")
+
+
+if __name__ == "__main__":
+    main()

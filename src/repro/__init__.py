@@ -1,0 +1,28 @@
+"""repro — multi-states query sampling for dynamic multidatabase environments.
+
+A full reproduction of Zhu, Sun & Motheramgari, *Developing Cost Models
+with Qualitative Variables for Dynamic Multidatabase Environments*
+(ICDE 2000): the multi-states query sampling method (IUPMA/ICMA state
+determination, qualitative-variable regression, mixed variable
+selection, probing-cost machinery) together with every substrate it runs
+on — a relational engine with two DBMS profiles, a dynamic-contention
+environment simulator, a regression library, and an MDBS layer whose
+global optimizer consumes the derived models.
+
+Quick start::
+
+    from repro.workload import make_site
+    from repro.core import CostModelBuilder, G1, validate_model
+
+    site = make_site("oracle_site", environment_kind="uniform", scale=0.03)
+    builder = CostModelBuilder(site.database)
+    queries = site.generator.queries_for(G1, builder.sample_size(G1))
+    outcome = builder.build(G1, queries, algorithm="iupma")
+    print(outcome.model.equation_table())
+"""
+
+from . import core, engine, env, mdbs, mlr, workload
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "engine", "env", "mdbs", "mlr", "workload", "__version__"]

@@ -1,0 +1,168 @@
+"""The paper's contribution: the multi-states query sampling method.
+
+Develops regression cost models with a *qualitative variable* indicating
+discrete system contention states, for local database systems in a
+dynamic multidatabase environment.
+"""
+
+from .builder import ALGORITHMS, BuildOutcome, BuilderConfig, CostModelBuilder
+from .classification import (
+    ALL_CLASSES,
+    G1,
+    G2,
+    G3,
+    G4,
+    G5,
+    G6,
+    GC,
+    QueryClass,
+    class_by_label,
+    class_for_method,
+    classify,
+)
+from .clustering import Cluster, agglomerate, cluster_extents, merge_small_clusters
+from .fitting import QualitativeFit, fit_qualitative
+from .icma import clustered_partitioner, determine_states_icma
+from .iupma import (
+    PhaseRecord,
+    StateDeterminationResult,
+    StatesConfig,
+    determine_states,
+    determine_states_iupma,
+)
+from .maintenance import (
+    CatalogSnapshot,
+    ChangeDetector,
+    MaintenanceRecord,
+    ModelMaintainer,
+    SignificantChange,
+    TableSnapshot,
+)
+from .merging import (
+    DEFAULT_MERGE_THRESHOLD,
+    MergeRecord,
+    max_relative_difference,
+    merge_adjustment,
+    relative_error as coefficient_relative_error,
+)
+from .model import MultiStateCostModel
+from .partition import ContentionStates, partition_from_intervals, uniform_partition
+from .probing import ProbingCostEstimator, ProbingQuery, default_probing_query
+from .qualitative import (
+    ModelForm,
+    adjusted_coefficients,
+    build_design,
+    design_row,
+    encode_indicators,
+    num_parameters,
+    term_names,
+)
+from .report import derivation_report
+from .sampling import (
+    SamplingPlan,
+    collect_observations,
+    minimum_observations,
+    recommended_sample_size,
+    split_train_test,
+)
+from .selection import SelectionConfig, SelectionResult, SelectionStep, select_variables
+from .static_method import StaticQuerySampling, derive_static_cost_model
+from .validation import (
+    ValidationReport,
+    is_acceptable,
+    is_good,
+    is_very_good,
+    relative_error,
+    validate_model,
+)
+from .variables import (
+    JOIN_VARIABLES,
+    Observation,
+    UNARY_VARIABLES,
+    VariableSet,
+    extract_variables,
+    observation_from_result,
+    variables_for,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ALL_CLASSES",
+    "BuildOutcome",
+    "BuilderConfig",
+    "CatalogSnapshot",
+    "ChangeDetector",
+    "Cluster",
+    "ContentionStates",
+    "CostModelBuilder",
+    "DEFAULT_MERGE_THRESHOLD",
+    "G1",
+    "G2",
+    "G3",
+    "G4",
+    "G5",
+    "G6",
+    "GC",
+    "JOIN_VARIABLES",
+    "MaintenanceRecord",
+    "MergeRecord",
+    "ModelForm",
+    "ModelMaintainer",
+    "MultiStateCostModel",
+    "Observation",
+    "PhaseRecord",
+    "ProbingCostEstimator",
+    "ProbingQuery",
+    "QualitativeFit",
+    "QueryClass",
+    "SamplingPlan",
+    "SelectionConfig",
+    "SelectionResult",
+    "SelectionStep",
+    "SignificantChange",
+    "StateDeterminationResult",
+    "StatesConfig",
+    "StaticQuerySampling",
+    "TableSnapshot",
+    "UNARY_VARIABLES",
+    "ValidationReport",
+    "VariableSet",
+    "adjusted_coefficients",
+    "agglomerate",
+    "build_design",
+    "class_by_label",
+    "class_for_method",
+    "classify",
+    "cluster_extents",
+    "clustered_partitioner",
+    "coefficient_relative_error",
+    "collect_observations",
+    "default_probing_query",
+    "derivation_report",
+    "derive_static_cost_model",
+    "design_row",
+    "determine_states",
+    "determine_states_icma",
+    "determine_states_iupma",
+    "encode_indicators",
+    "extract_variables",
+    "fit_qualitative",
+    "is_acceptable",
+    "is_good",
+    "is_very_good",
+    "max_relative_difference",
+    "merge_adjustment",
+    "merge_small_clusters",
+    "minimum_observations",
+    "num_parameters",
+    "observation_from_result",
+    "partition_from_intervals",
+    "recommended_sample_size",
+    "relative_error",
+    "select_variables",
+    "split_train_test",
+    "term_names",
+    "uniform_partition",
+    "validate_model",
+    "variables_for",
+]

@@ -1,0 +1,189 @@
+"""End-to-end cost-model development: the multi-states query sampling method.
+
+Pipeline (paper §4):
+
+1. classify local queries (:mod:`repro.core.classification`);
+2. draw a sample of queries sized per Proposition 4.1
+   (:mod:`repro.core.sampling`);
+3. run them in the dynamic environment, pairing each execution with a
+   probing-query cost;
+4. determine the contention states — IUPMA or ICMA — jointly with a
+   first qualitative fit over the basic variables;
+5. select variables with the mixed backward/forward procedure;
+6. package the final fit as a :class:`~repro.core.model.MultiStateCostModel`
+   ready for the MDBS catalog.
+
+The *static query sampling method* is the one-state special case
+(``algorithm="static"``): run it on samples from a static environment
+for the paper's Static Approach 1, or on dynamic samples for Static
+Approach 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.database import LocalDatabase
+from ..engine.query import Query
+from .classification import QueryClass
+from .icma import determine_states_icma
+from .iupma import StateDeterminationResult, StatesConfig, determine_states_iupma
+from .model import MultiStateCostModel
+from .partition import ContentionStates
+from .probing import ProbingQuery, default_probing_query
+from .sampling import SamplingPlan, collect_observations, recommended_sample_size
+from .selection import SelectionConfig, SelectionResult, select_variables
+from .variables import Observation, check_observations
+
+ALGORITHMS = ("iupma", "icma", "static")
+
+
+@dataclass
+class BuilderConfig:
+    """All tunables of the pipeline, with the paper-calibrated defaults."""
+
+    states: StatesConfig = field(default_factory=StatesConfig)
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    sampling: SamplingPlan = field(default_factory=SamplingPlan)
+    #: Secondary-variable allowance in the sizing rule (paper eq. (4)).
+    secondary_allowance: int = 2
+    #: Anticipated maximum state count used for sizing the sample.
+    sizing_states: int = 6
+
+
+@dataclass
+class BuildOutcome:
+    """A derived model plus everything produced along the way."""
+
+    model: MultiStateCostModel
+    observations: list[Observation]
+    selection: SelectionResult
+    determination: StateDeterminationResult | None
+
+
+class CostModelBuilder:
+    """Derives cost models for one local database system."""
+
+    def __init__(
+        self,
+        database: LocalDatabase,
+        probe: ProbingQuery | None = None,
+        config: BuilderConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.probe = probe or default_probing_query(database)
+        self.config = config or BuilderConfig()
+
+    # -- sizing ---------------------------------------------------------
+
+    def sample_size(self, query_class: QueryClass) -> int:
+        """Sample size per the paper's sizing rule (eq. (4))."""
+        return recommended_sample_size(
+            query_class.variables,
+            self.config.sizing_states,
+            self.config.secondary_allowance,
+        )
+
+    # -- collection ---------------------------------------------------------
+
+    def collect(self, queries: Sequence[Query | str]) -> list[Observation]:
+        """Run sample queries, pairing each with a probing cost."""
+        return collect_observations(
+            self.database, queries, self.probe, self.config.sampling
+        )
+
+    # -- model development ------------------------------------------------------
+
+    def build_from_observations(
+        self,
+        observations: Sequence[Observation],
+        query_class: QueryClass,
+        algorithm: str = "iupma",
+    ) -> BuildOutcome:
+        """Steps 4–6 of the pipeline over pre-collected observations."""
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
+        observations = list(observations)
+        variables = query_class.variables
+        check_observations(observations, variables.all_names)
+
+        columns = {
+            name: np.array([obs.values[name] for obs in observations])
+            for name in variables.all_names
+        }
+        y = np.array([obs.cost for obs in observations])
+        probing = np.array([obs.probing_cost for obs in observations])
+
+        determination: StateDeterminationResult | None = None
+        if algorithm == "static":
+            states = ContentionStates(float(probing.min()), float(probing.max()))
+        else:
+            X_basic = np.column_stack([columns[n] for n in variables.basic])
+            determine = (
+                determine_states_iupma if algorithm == "iupma" else determine_states_icma
+            )
+            determination = determine(
+                X_basic, y, probing, variables.basic, self.config.states
+            )
+            states = determination.states
+
+        selection = select_variables(
+            columns,
+            y,
+            probing,
+            variables.basic,
+            variables.secondary,
+            states,
+            self.config.states.form,
+            self.config.selection,
+        )
+        model = MultiStateCostModel.from_fit(
+            selection.fit,
+            class_label=query_class.label,
+            family=query_class.family,
+            algorithm=algorithm,
+            database=self.database.name,
+            probe=self.probe.describe(),
+            # Training means of the selected variables: a representative
+            # query for diagnostics (e.g. per-state cost curves).
+            variable_means={
+                name: float(np.mean(columns[name]))
+                for name in selection.variables
+            },
+            selection_steps=[
+                {"action": s.action, "variable": s.variable, "detail": s.detail}
+                for s in selection.steps
+            ],
+            state_history=(
+                [
+                    {
+                        "num_states": r.num_states,
+                        "r_squared": r.r_squared,
+                        "standard_error": r.standard_error,
+                        "accepted": r.accepted,
+                    }
+                    for r in determination.phase1
+                ]
+                if determination is not None
+                else []
+            ),
+        )
+        return BuildOutcome(
+            model=model,
+            observations=observations,
+            selection=selection,
+            determination=determination,
+        )
+
+    def build(
+        self,
+        query_class: QueryClass,
+        queries: Sequence[Query | str],
+        algorithm: str = "iupma",
+    ) -> BuildOutcome:
+        """The full pipeline: collect observations, then derive the model."""
+        observations = self.collect(queries)
+        return self.build_from_observations(observations, query_class, algorithm)

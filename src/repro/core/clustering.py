@@ -1,0 +1,114 @@
+"""Agglomerative hierarchical clustering of probing costs (for ICMA).
+
+§3.3: "An agglomerative hierarchical algorithm is often used for data
+clustering.  The main idea [...] is to place each data object in its own
+cluster initially and then gradually merge clusters into larger and
+larger clusters until a desired number of clusters have been found.  The
+criterion used to merge two clusters is to make their distance minimized
+[... using] the distance between the centroids."
+
+Probing costs are one-dimensional, which lets us exploit a classical
+fact: under centroid-distance linkage on the line, the globally closest
+pair of clusters is always adjacent in sorted order, so only neighbour
+merges need to be considered and the whole agglomeration runs in
+O(n log n) after sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A contiguous cluster of one-dimensional values."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def centroid(self) -> float:
+        return self.total / self.count
+
+    def merged_with(self, other: "Cluster") -> "Cluster":
+        return Cluster(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def extent(self) -> tuple[float, float]:
+        return self.minimum, self.maximum
+
+
+def agglomerate(values: Sequence[float], num_clusters: int) -> list[Cluster]:
+    """Cluster *values* into *num_clusters* groups by centroid linkage.
+
+    Returns clusters sorted by centroid (ascending).  Duplicate values
+    start in one singleton each, exactly as the textbook algorithm says;
+    ties in merge distance break toward the leftmost pair so the result
+    is deterministic.
+    """
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be at least 1")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot cluster an empty sample")
+    clusters = [Cluster(1, v, v, v) for v in data]
+    if num_clusters >= len(clusters):
+        return clusters
+
+    # Neighbour-only merging is exact for 1-D centroid linkage.
+    while len(clusters) > num_clusters:
+        best_idx = 0
+        best_gap = clusters[1].centroid - clusters[0].centroid
+        for i in range(1, len(clusters) - 1):
+            gap = clusters[i + 1].centroid - clusters[i].centroid
+            if gap < best_gap:
+                best_gap = gap
+                best_idx = i
+        merged = clusters[best_idx].merged_with(clusters[best_idx + 1])
+        clusters[best_idx : best_idx + 2] = [merged]
+    return clusters
+
+
+def merge_small_clusters(clusters: list[Cluster], min_count: int) -> list[Cluster]:
+    """Merge clusters with fewer than *min_count* members into their
+    nearest (by centroid) neighbour.
+
+    The paper prefers drawing *additional sample queries* to fill a thin
+    cluster (§3.3) — the builder does that when it can; this function is
+    the terminal fallback when resampling is exhausted, so that no data
+    point is discarded as an outlier (also per §3.3: "no useful contention
+    level points are ignored").
+    """
+    if min_count <= 1 or len(clusters) <= 1:
+        return list(clusters)
+    result = list(clusters)
+    while len(result) > 1:
+        small = [i for i, c in enumerate(result) if c.count < min_count]
+        if not small:
+            break
+        i = small[0]
+        if i == 0:
+            j = 1
+        elif i == len(result) - 1:
+            j = i - 1
+        else:
+            left_gap = result[i].centroid - result[i - 1].centroid
+            right_gap = result[i + 1].centroid - result[i].centroid
+            j = i - 1 if left_gap <= right_gap else i + 1
+        lo, hi = min(i, j), max(i, j)
+        merged = result[lo].merged_with(result[hi])
+        result[lo : hi + 1] = [merged]
+    return result
+
+
+def cluster_extents(clusters: Sequence[Cluster]) -> list[tuple[float, float]]:
+    """[min, max] intervals of the clusters, in centroid order."""
+    return [c.extent for c in clusters]

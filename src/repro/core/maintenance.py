@@ -1,0 +1,268 @@
+"""Cost-model maintenance for occasionally-changing factors (paper §2).
+
+"For the occasionally-changing factors, a simple and effective approach
+to capturing them in a cost model is to invoke the [...] query sampling
+method periodically or whenever a significant change for the factors
+occurs.  Since these factors do not change very often, rebuilding cost
+models from time to time to capture them is acceptable.  The changes of
+occasionally-changing factors can be found via checking the local
+database catalog and/or system configuration files."
+
+This module implements exactly that: a :class:`ChangeDetector` snapshots
+the local catalog (cardinalities, tuple lengths, indexes, clustering)
+and diffs it against the current state, and a :class:`ModelMaintainer`
+re-derives a class's cost model whenever a significant change is
+detected or a rebuild period has elapsed (in simulated time).
+
+The *frequently*-changing factors are NOT handled here — they are the
+whole point of the multi-states method itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..engine.database import LocalDatabase
+from ..engine.query import Query
+from .builder import BuildOutcome, CostModelBuilder
+from .classification import QueryClass
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """The occasionally-changing facts about one table."""
+
+    cardinality: int
+    tuple_length: int
+    indexed_columns: tuple[tuple[str, str], ...]  # (column, kind), sorted
+    clustered_on: str | None
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """A point-in-time image of a local database's catalog."""
+
+    tables: dict[str, TableSnapshot]
+
+    @classmethod
+    def capture(cls, database: LocalDatabase) -> "CatalogSnapshot":
+        tables = {}
+        for table in database.catalog.tables():
+            indexed = tuple(
+                sorted(
+                    (index.column_name, index.kind.value)
+                    for index in database.catalog.indexes_for(table.name)
+                )
+            )
+            tables[table.name] = TableSnapshot(
+                cardinality=table.cardinality,
+                tuple_length=table.tuple_length,
+                indexed_columns=indexed,
+                clustered_on=table.clustered_on,
+            )
+        return cls(tables=tables)
+
+
+@dataclass(frozen=True)
+class SignificantChange:
+    """One detected occasionally-changing-factor change."""
+
+    kind: str  # "table_added" | "table_dropped" | "cardinality" | "schema" | "indexes"
+    table: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.table}: {self.kind} ({self.detail})"
+
+
+class ChangeDetector:
+    """Diffs catalog snapshots against a baseline.
+
+    ``cardinality_drift`` is the relative growth/shrinkage of a table's
+    cardinality considered significant — small changes "may not have an
+    immediate significant impact on query cost until such changes
+    accumulate to a certain degree" (§2), so the detector only fires once
+    the accumulated drift crosses the threshold.
+    """
+
+    def __init__(
+        self, database: LocalDatabase, cardinality_drift: float = 0.20
+    ) -> None:
+        if cardinality_drift <= 0:
+            raise ValueError("cardinality_drift must be positive")
+        self.database = database
+        self.cardinality_drift = cardinality_drift
+        self.baseline = CatalogSnapshot.capture(database)
+
+    def rebase(self) -> None:
+        """Accept the current state as the new baseline."""
+        self.baseline = CatalogSnapshot.capture(self.database)
+
+    def detect(self) -> list[SignificantChange]:
+        """Changes between the baseline and the current catalog."""
+        current = CatalogSnapshot.capture(self.database)
+        changes: list[SignificantChange] = []
+        for name in sorted(set(self.baseline.tables) | set(current.tables)):
+            before = self.baseline.tables.get(name)
+            after = current.tables.get(name)
+            if before is None:
+                changes.append(SignificantChange("table_added", name, "new table"))
+                continue
+            if after is None:
+                changes.append(SignificantChange("table_dropped", name, "gone"))
+                continue
+            if before.cardinality > 0:
+                drift = abs(after.cardinality - before.cardinality) / before.cardinality
+                if drift > self.cardinality_drift:
+                    changes.append(
+                        SignificantChange(
+                            "cardinality",
+                            name,
+                            f"{before.cardinality} -> {after.cardinality} "
+                            f"({drift:.0%} drift)",
+                        )
+                    )
+            elif after.cardinality > 0:
+                changes.append(
+                    SignificantChange("cardinality", name, "0 -> non-empty")
+                )
+            if before.tuple_length != after.tuple_length:
+                changes.append(
+                    SignificantChange(
+                        "schema",
+                        name,
+                        f"tuple length {before.tuple_length} -> {after.tuple_length}",
+                    )
+                )
+            if (
+                before.indexed_columns != after.indexed_columns
+                or before.clustered_on != after.clustered_on
+            ):
+                changes.append(
+                    SignificantChange(
+                        "indexes",
+                        name,
+                        f"{before.indexed_columns} -> {after.indexed_columns}",
+                    )
+                )
+        return changes
+
+
+@dataclass
+class MaintenanceRecord:
+    """Why and when one rebuild happened."""
+
+    at_time: float
+    class_label: str
+    reasons: tuple[str, ...]
+
+
+@dataclass
+class _Registration:
+    query_class: QueryClass
+    query_source: Callable[[int], Sequence[Query]]
+    sample_count: int
+    algorithm: str
+    last_built_at: float
+
+
+class ModelMaintainer:
+    """Keeps a site's cost models current (§2's maintenance policy).
+
+    Register each query class with a query source (typically a
+    :class:`~repro.workload.querygen.QueryGenerator` method); then call
+    :meth:`maintain` from time to time.  A class is rebuilt when
+
+    * a significant catalog change has been detected since its last
+      build, or
+    * ``rebuild_period_seconds`` of simulated time have elapsed since
+      its last build (``None`` disables periodic rebuilds).
+    """
+
+    def __init__(
+        self,
+        builder: CostModelBuilder,
+        detector: ChangeDetector | None = None,
+        rebuild_period_seconds: float | None = None,
+    ) -> None:
+        if rebuild_period_seconds is not None and rebuild_period_seconds <= 0:
+            raise ValueError("rebuild_period_seconds must be positive")
+        self.builder = builder
+        self.detector = detector or ChangeDetector(builder.database)
+        self.rebuild_period_seconds = rebuild_period_seconds
+        self._registrations: dict[str, _Registration] = {}
+        self.models: dict[str, BuildOutcome] = {}
+        self.history: list[MaintenanceRecord] = []
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        query_class: QueryClass,
+        query_source: Callable[[int], Sequence[Query]],
+        sample_count: int | None = None,
+        algorithm: str = "iupma",
+        build_now: bool = True,
+    ) -> BuildOutcome | None:
+        """Track *query_class*; optionally derive its model immediately."""
+        count = sample_count or self.builder.sample_size(query_class)
+        self._registrations[query_class.label] = _Registration(
+            query_class=query_class,
+            query_source=query_source,
+            sample_count=count,
+            algorithm=algorithm,
+            last_built_at=float("-inf"),
+        )
+        if build_now:
+            return self._rebuild(query_class.label, reasons=("initial build",))
+        return None
+
+    # -- maintenance --------------------------------------------------------
+
+    def due(self) -> dict[str, list[str]]:
+        """Which classes need a rebuild right now, and why."""
+        changes = [str(c) for c in self.detector.detect()]
+        now = self.builder.database.environment.now
+        result: dict[str, list[str]] = {}
+        for label, registration in self._registrations.items():
+            reasons = list(changes)
+            if (
+                self.rebuild_period_seconds is not None
+                and now - registration.last_built_at >= self.rebuild_period_seconds
+            ):
+                reasons.append(
+                    f"rebuild period elapsed ({self.rebuild_period_seconds:.0f}s)"
+                )
+            if reasons:
+                result[label] = reasons
+        return result
+
+    def maintain(self) -> dict[str, BuildOutcome]:
+        """Rebuild every due class; returns the fresh outcomes."""
+        due = self.due()
+        rebuilt = {}
+        for label, reasons in due.items():
+            rebuilt[label] = self._rebuild(label, tuple(reasons))
+        if due:
+            # The catalog state that triggered the rebuilds is now the
+            # baseline; further drift is measured from here.
+            self.detector.rebase()
+        return rebuilt
+
+    def _rebuild(self, label: str, reasons: tuple[str, ...]) -> BuildOutcome:
+        registration = self._registrations[label]
+        queries = registration.query_source(registration.sample_count)
+        outcome = self.builder.build(
+            registration.query_class, queries, registration.algorithm
+        )
+        registration.last_built_at = self.builder.database.environment.now
+        self.models[label] = outcome
+        self.history.append(
+            MaintenanceRecord(
+                at_time=registration.last_built_at,
+                class_label=label,
+                reasons=reasons,
+            )
+        )
+        return outcome

@@ -1,0 +1,84 @@
+"""Merging adjustment: collapse contention states with similar effects.
+
+Phase 2 of Algorithm 3.1 (shared by IUPMA and ICMA): after a partition is
+chosen, neighbouring states whose *adjusted coefficients* differ by only
+a small relative error are merged — "if the performance behaviors of
+queries in contention states i and i-1 are similar, separating them is
+unnecessary" — and the model is refitted, repeating until no pair of
+neighbours is tagged.  The final subranges may therefore have unequal
+widths even when the first phase partitioned uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fitting import QualitativeFit, fit_qualitative
+
+#: Two states are "not significantly different" when the max relative
+#: error across their adjusted coefficients is below this.
+DEFAULT_MERGE_THRESHOLD = 0.20
+
+
+def relative_error(a: float, b: float) -> float:
+    """|a - b| / max(|a|, |b|), with 0/0 defined as 0."""
+    denom = max(abs(a), abs(b))
+    if denom == 0.0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def max_relative_difference(adjusted: np.ndarray, state: int) -> float:
+    """max over variables of the relative error between *state* and
+    *state + 1*'s adjusted coefficients."""
+    if not 0 <= state < adjusted.shape[0] - 1:
+        raise IndexError("state must have a successor")
+    return max(
+        relative_error(float(adjusted[state, j]), float(adjusted[state + 1, j]))
+        for j in range(adjusted.shape[1])
+    )
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One merge decision, for the determination history."""
+
+    num_states_before: int
+    merged_pairs: tuple[int, ...]
+
+
+def merge_adjustment(
+    fit: QualitativeFit,
+    X: np.ndarray,
+    y: np.ndarray,
+    probing: np.ndarray,
+    threshold: float = DEFAULT_MERGE_THRESHOLD,
+) -> tuple[QualitativeFit, list[MergeRecord]]:
+    """Iteratively merge neighbouring states with similar coefficients.
+
+    Returns the final (possibly unchanged) fit and the merge history.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    history: list[MergeRecord] = []
+    current = fit
+    while current.num_states > 1:
+        adjusted = current.adjusted()
+        tagged = [
+            i
+            for i in range(current.num_states - 1)
+            if max_relative_difference(adjusted, i) < threshold
+        ]
+        if not tagged:
+            break
+        history.append(MergeRecord(current.num_states, tuple(tagged)))
+        states = current.states
+        # Merge right-to-left so earlier boundary indices stay valid.
+        for i in reversed(tagged):
+            states = states.merge(i)
+        current = fit_qualitative(
+            X, y, probing, states, current.variable_names, current.form
+        )
+    return current, history

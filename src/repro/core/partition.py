@@ -1,0 +1,135 @@
+"""Contention states as partitions of the probing-cost range.
+
+The system contention level is *gauged by the cost of a probing query*
+(§3.3).  A set of contention states is a partition of the observed
+probing-cost range [Cmin, Cmax] into subranges; the environment "is in
+state i" when the probing cost falls in subrange i.
+
+Indexing convention: the paper numbers states with a *decreasing* index
+(state m is the cheapest subrange) purely to simplify its algorithm
+prose.  We use the conventional ascending 0-based index — state 0 is the
+lowest-contention subrange — and note the difference here once.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ContentionStates:
+    """A partition of [cmin, cmax] into contiguous contention states.
+
+    ``boundaries`` are the interior cut points, strictly increasing and
+    strictly inside (cmin, cmax); with k boundaries there are k+1 states.
+    State i covers [b_{i-1}, b_i) with b_{-1} = cmin and b_k = cmax
+    (the last state is closed on the right).  Probing costs outside
+    [cmin, cmax] clamp to the first/last state — at estimation time the
+    environment can always be *more* or *less* loaded than anything seen
+    during sampling.
+    """
+
+    cmin: float
+    cmax: float
+    boundaries: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.cmin <= self.cmax:
+            raise ValueError("cmin must not exceed cmax")
+        bounds = tuple(float(b) for b in self.boundaries)
+        object.__setattr__(self, "boundaries", bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("boundaries must be strictly increasing")
+        for b in bounds:
+            if not self.cmin < b < self.cmax:
+                raise ValueError(
+                    f"boundary {b} outside the open range ({self.cmin}, {self.cmax})"
+                )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.boundaries) + 1
+
+    def state_of(self, probing_cost: float) -> int:
+        """The state whose subrange contains *probing_cost* (clamped)."""
+        return bisect.bisect_right(self.boundaries, probing_cost)
+
+    def assign(self, probing_costs: Sequence[float]) -> list[int]:
+        """Vectorized :meth:`state_of`."""
+        return [self.state_of(c) for c in probing_costs]
+
+    def subrange(self, state: int) -> tuple[float, float]:
+        """The [low, high) subrange of *state*."""
+        if not 0 <= state < self.num_states:
+            raise IndexError(f"state {state} out of range")
+        low = self.cmin if state == 0 else self.boundaries[state - 1]
+        high = self.cmax if state == self.num_states - 1 else self.boundaries[state]
+        return low, high
+
+    def subranges(self) -> list[tuple[float, float]]:
+        return [self.subrange(i) for i in range(self.num_states)]
+
+    def merge(self, state: int) -> "ContentionStates":
+        """Merge *state* with its successor (drop the boundary between them)."""
+        if not 0 <= state < self.num_states - 1:
+            raise IndexError(f"cannot merge state {state} with its successor")
+        bounds = list(self.boundaries)
+        del bounds[state]
+        return ContentionStates(self.cmin, self.cmax, tuple(bounds))
+
+    def describe(self) -> str:
+        """Human-readable subrange listing (for reports and Table 4 output)."""
+        parts = []
+        for i, (lo, hi) in enumerate(self.subranges()):
+            closer = "]" if i == self.num_states - 1 else ")"
+            parts.append(f"s{i}=[{lo:.4g}, {hi:.4g}{closer}")
+        return ", ".join(parts)
+
+
+def uniform_partition(cmin: float, cmax: float, num_states: int) -> ContentionStates:
+    """Partition [cmin, cmax] into *num_states* equal-width subranges.
+
+    The straightforward partition of §3.3: subrange width
+    (cmax - cmin) / m.
+    """
+    if num_states < 1:
+        raise ValueError("num_states must be at least 1")
+    if cmin > cmax:
+        raise ValueError("cmin must not exceed cmax")
+    if num_states == 1 or cmin == cmax:
+        return ContentionStates(cmin, cmax)
+    width = (cmax - cmin) / num_states
+    boundaries = tuple(cmin + width * i for i in range(1, num_states))
+    return ContentionStates(cmin, cmax, boundaries)
+
+
+def partition_from_intervals(
+    intervals: Sequence[tuple[float, float]],
+    cmin: float | None = None,
+    cmax: float | None = None,
+) -> ContentionStates:
+    """Build states from disjoint value intervals (e.g. cluster extents).
+
+    Boundaries are placed at the midpoints of the gaps between adjacent
+    intervals, so the states tile the whole [cmin, cmax] range — the gap
+    between two observed clusters is split between their states, letting
+    future probing costs that land in a gap resolve to the nearer cluster.
+    """
+    if not intervals:
+        raise ValueError("at least one interval is required")
+    ordered = sorted((float(lo), float(hi)) for lo, hi in intervals)
+    for lo, hi in ordered:
+        if lo > hi:
+            raise ValueError(f"interval ({lo}, {hi}) is inverted")
+    for (_, hi_prev), (lo_next, _) in zip(ordered, ordered[1:]):
+        if lo_next < hi_prev:
+            raise ValueError("intervals overlap")
+    low = ordered[0][0] if cmin is None else float(cmin)
+    high = ordered[-1][1] if cmax is None else float(cmax)
+    boundaries = tuple(
+        (hi_prev + lo_next) / 2.0
+        for (_, hi_prev), (lo_next, _) in zip(ordered, ordered[1:])
+    )
+    return ContentionStates(low, high, boundaries)

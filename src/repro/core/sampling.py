@@ -1,0 +1,113 @@
+"""Query sampling: sample-size rules and sample collection.
+
+Proposition 4.1: for the general qualitative regression cost model with
+n quantitative explanatory variables and one qualitative variable with m
+states, **at least 10·((n+1)·m + 1) observations** are needed — 10 per
+parameter ((n+1) coefficient groups × m states, plus the error-term
+variance), following the "sample at least 10 observations for every
+parameter" rule of thumb [12].
+
+Collection pairs every sample-query execution with a probing-query
+execution in the same environment ("sampled probing query costs", §3.3),
+and spaces executions out in simulated time so the dynamic environment
+actually moves between samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..engine.database import LocalDatabase
+from ..engine.query import Query
+from .probing import ProbingQuery
+from .variables import Observation, VariableSet, observation_from_result
+
+#: Observations required per estimated parameter (textbook rule).
+OBSERVATIONS_PER_PARAMETER = 10
+
+
+def minimum_observations(n_variables: int, num_states: int) -> int:
+    """Proposition 4.1's lower bound on the sample size."""
+    if n_variables < 0:
+        raise ValueError("n_variables must be non-negative")
+    if num_states < 1:
+        raise ValueError("num_states must be at least 1")
+    return OBSERVATIONS_PER_PARAMETER * ((n_variables + 1) * num_states + 1)
+
+
+def recommended_sample_size(
+    variables: VariableSet,
+    max_states: int,
+    secondary_allowance: int = 2,
+) -> int:
+    """The paper's sizing rule (eq. (4)).
+
+    The exact variable count is only known *after* selection, so size for
+    the expected case: all basic variables plus a small allowance of
+    secondary ones (|B| + 2), times the largest state count anticipated
+    for the environment.
+    """
+    if max_states < 1:
+        raise ValueError("max_states must be at least 1")
+    if secondary_allowance < 0:
+        raise ValueError("secondary_allowance must be non-negative")
+    n_expected = len(variables.basic) + secondary_allowance
+    return minimum_observations(n_expected, max_states)
+
+
+@dataclass
+class SamplingPlan:
+    """How a sample run is to be executed."""
+
+    #: Simulated seconds to let pass between consecutive sample queries,
+    #: so the contention trace moves through its epochs.
+    pause_seconds: float = 20.0
+    #: Whether to record the ground-truth contention level for analysis.
+    record_level: bool = True
+
+
+def collect_observations(
+    database: LocalDatabase,
+    queries: Sequence[Query | str],
+    probe: ProbingQuery,
+    plan: SamplingPlan | None = None,
+) -> list[Observation]:
+    """Run sample *queries*, pairing each with a fresh probing cost.
+
+    For each sample query the probing query runs first in the same
+    environment; its cost is the observation's *sampled probing cost*,
+    used later to determine the contention state the sample executed in.
+    """
+    plan = plan or SamplingPlan()
+    if plan.pause_seconds < 0:
+        raise ValueError("pause_seconds must be non-negative")
+    observations: list[Observation] = []
+    for query in queries:
+        probing_cost = probe.observe()
+        result = database.execute(query)
+        observations.append(
+            observation_from_result(
+                result,
+                probing_cost,
+                plan=result.plan,
+                query=str(result.query),
+            )
+        )
+        database.environment.advance(plan.pause_seconds)
+    return observations
+
+
+def split_train_test(
+    observations: Iterable[Observation], test_fraction: float, rng
+) -> tuple[list[Observation], list[Observation]]:
+    """Random train/test split of observations (order-independent)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    items = list(observations)
+    indices = rng.permutation(len(items))
+    n_test = max(1, int(round(test_fraction * len(items))))
+    test_idx = set(int(i) for i in indices[:n_test])
+    train = [obs for i, obs in enumerate(items) if i not in test_idx]
+    test = [obs for i, obs in enumerate(items) if i in test_idx]
+    return train, test

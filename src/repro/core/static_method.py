@@ -1,0 +1,70 @@
+"""The static query sampling method — the paper's baseline.
+
+Zhu & Larson's earlier method assumes a static environment: one
+regression equation per query class, no qualitative variable.  It is
+exactly the one-contention-state special case of the multi-states
+method (§1), so it is implemented as a thin wrapper around the shared
+pipeline with ``algorithm="static"``.
+
+The §5 experiments use it two ways:
+
+* **Static Approach 1** — apply it to samples collected in a *static*
+  environment (its intended use); the resulting model then faces a
+  dynamic environment and collapses.
+* **Static Approach 2** — apply it to samples collected in a *dynamic*
+  environment; the single equation averages over all contention levels
+  and fits none of them well.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .builder import BuildOutcome, BuilderConfig, CostModelBuilder
+from .classification import QueryClass
+from .probing import ProbingQuery
+from .variables import Observation
+
+
+def derive_static_cost_model(
+    observations: Sequence[Observation],
+    query_class: QueryClass,
+    builder: CostModelBuilder,
+) -> BuildOutcome:
+    """Derive a one-state (static) cost model from *observations*."""
+    return builder.build_from_observations(observations, query_class, algorithm="static")
+
+
+class StaticQuerySampling:
+    """Convenience front end mirroring :class:`CostModelBuilder`."""
+
+    def __init__(
+        self,
+        database,
+        probe: ProbingQuery | None = None,
+        config: BuilderConfig | None = None,
+    ) -> None:
+        self._builder = CostModelBuilder(database, probe=probe, config=config)
+
+    @property
+    def builder(self) -> CostModelBuilder:
+        return self._builder
+
+    def sample_size(self, query_class: QueryClass) -> int:
+        """Sizing for the one-state model (m = 1 in Proposition 4.1)."""
+        from .sampling import recommended_sample_size
+
+        return recommended_sample_size(
+            query_class.variables,
+            max_states=1,
+            secondary_allowance=self._builder.config.secondary_allowance,
+        )
+
+    def build(self, query_class: QueryClass, queries) -> BuildOutcome:
+        """Collect samples and derive the static model."""
+        return self._builder.build(query_class, queries, algorithm="static")
+
+    def build_from_observations(
+        self, observations: Sequence[Observation], query_class: QueryClass
+    ) -> BuildOutcome:
+        return derive_static_cost_model(observations, query_class, self._builder)

@@ -1,0 +1,85 @@
+"""A small relational DBMS substrate with simulated, contention-aware timing.
+
+This package stands in for the paper's local database systems (Oracle 8.0
+and DB2 5.0): heap/clustered tables, B+-tree indexes, the classic access
+methods and join algorithms, a rule-based local optimizer, and a costing
+layer that converts physical work into simulated elapsed time under the
+current environment contention.
+"""
+
+from .access import clustered_index_scan, nonclustered_index_scan, seq_scan
+from .btree import BPlusTree
+from .catalog import LocalCatalog
+from .costing import ElapsedBreakdown, simulate_elapsed
+from .database import LocalDatabase, QueryResult
+from .errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    QueryError,
+    SchemaError,
+    SQLSyntaxError,
+)
+from .index import Index, IndexKind
+from .joins import hash_join, index_nested_loop_join, nested_loop_join, sort_merge_join
+from .metrics import AccessInfo, ExecutionMetrics
+from .optimizer import JoinPlan, UnaryPlan, choose_join_plan, choose_unary_plan
+from .pages import PageLayout
+from .predicate import TRUE, And, Comparison, KeyRange, Not, Or, Predicate
+from .profiles import DB2_LIKE, DBMSProfile, ORACLE_LIKE, get_profile
+from .query import JoinQuery, Query, SelectQuery
+from .schema import Column, TableSchema
+from .sql import parse_query
+from .table import ResultTable, Table
+from .types import DataType
+
+__all__ = [
+    "AccessInfo",
+    "And",
+    "BPlusTree",
+    "CatalogError",
+    "Column",
+    "Comparison",
+    "DB2_LIKE",
+    "DBMSProfile",
+    "DataType",
+    "ElapsedBreakdown",
+    "EngineError",
+    "ExecutionError",
+    "ExecutionMetrics",
+    "Index",
+    "IndexKind",
+    "JoinPlan",
+    "JoinQuery",
+    "KeyRange",
+    "LocalCatalog",
+    "LocalDatabase",
+    "Not",
+    "ORACLE_LIKE",
+    "Or",
+    "PageLayout",
+    "Predicate",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "ResultTable",
+    "SQLSyntaxError",
+    "SchemaError",
+    "SelectQuery",
+    "Table",
+    "TableSchema",
+    "TRUE",
+    "UnaryPlan",
+    "choose_join_plan",
+    "choose_unary_plan",
+    "clustered_index_scan",
+    "get_profile",
+    "hash_join",
+    "index_nested_loop_join",
+    "nested_loop_join",
+    "nonclustered_index_scan",
+    "parse_query",
+    "seq_scan",
+    "simulate_elapsed",
+    "sort_merge_join",
+]

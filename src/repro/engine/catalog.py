@@ -1,0 +1,82 @@
+"""The local catalog: tables and indexes of one local database system."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .errors import CatalogError
+from .index import Index
+from .table import Table
+
+
+class LocalCatalog:
+    """Name-keyed registry of tables and their indexes."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name} already exists")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"no such table: {name}")
+        del self._tables[name]
+        for index_name in [n for n, i in self._indexes.items() if i.table.name == name]:
+            del self._indexes[index_name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- indexes -----------------------------------------------------------
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name} already exists")
+        if index.table.name not in self._tables:
+            raise CatalogError(f"index {index.name} references unknown table")
+        self._indexes[index.name] = index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"no such index: {name}")
+        del self._indexes[name]
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no such index: {name}") from None
+
+    def indexes_for(self, table_name: str) -> list[Index]:
+        """All indexes on *table_name* (order: by index name, stable)."""
+        return [
+            self._indexes[n]
+            for n in sorted(self._indexes)
+            if self._indexes[n].table.name == table_name
+        ]
+
+    def index_on(self, table_name: str, column_name: str) -> Index | None:
+        """An index on *table_name.column_name*, if one exists."""
+        for index in self.indexes_for(table_name):
+            if index.column_name == column_name:
+                return index
+        return None

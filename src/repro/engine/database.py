@@ -1,0 +1,236 @@
+"""The local database system: DDL, DML, and timed query execution.
+
+A :class:`LocalDatabase` bundles a catalog, a DBMS cost profile, and the
+:class:`~repro.env.environment.Environment` it runs in.  Executing a
+query (1) lets the local optimizer pick a plan, (2) runs the plan to get
+both the result and the physical work counters, and (3) converts work to
+a simulated elapsed time under the contention level *at execution time*,
+advancing the simulated clock.  The elapsed time is all the global level
+ever observes — local cost constants stay hidden behind local autonomy,
+which is precisely the problem the paper's method addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..env.environment import Environment, static_environment
+from .access import UnaryExecution
+from .catalog import LocalCatalog
+from .costing import ElapsedBreakdown, simulate_elapsed
+from .errors import CatalogError
+from .index import Index, IndexKind
+from .joins import JoinExecution
+from .metrics import AccessInfo, ExecutionMetrics
+from .optimizer import JoinPlan, UnaryPlan, choose_join_plan, choose_unary_plan
+from .pages import PageLayout
+from .profiles import DBMSProfile, ORACLE_LIKE
+from .query import JoinQuery, Query, SelectQuery
+from .schema import Column, TableSchema
+from .sql import parse_query
+from .table import ResultTable, Table
+
+
+@dataclass
+class QueryResult:
+    """Everything one execution exposes to the caller."""
+
+    query: Query
+    result: ResultTable
+    metrics: ExecutionMetrics
+    breakdown: ElapsedBreakdown
+    plan: str
+    infos: tuple[AccessInfo, ...]
+    contention_level: float
+    started_at: float
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated elapsed time in seconds (what a stopwatch would show)."""
+        return self.breakdown.elapsed
+
+    @property
+    def cardinality(self) -> int:
+        return self.result.cardinality
+
+
+class LocalDatabase:
+    """One autonomous local DBS in the multidatabase system."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: DBMSProfile = ORACLE_LIKE,
+        environment: Environment | None = None,
+        layout: PageLayout | None = None,
+        noise_sigma: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        profile.validate()
+        self.name = name
+        self.profile = profile
+        self.environment = environment or static_environment()
+        self.layout = layout or PageLayout()
+        self.noise_sigma = noise_sigma
+        self.catalog = LocalCatalog()
+        self._rng = np.random.default_rng(seed)
+
+    # -- DDL / DML ---------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[Column], rows: Iterable[Sequence[Any]] = ()
+    ) -> Table:
+        """Create a table and optionally bulk-load *rows*."""
+        table = Table(TableSchema(name, columns), layout=self.layout)
+        table.bulk_load(rows)
+        self.catalog.add_table(table)
+        return table
+
+    def insert(self, table_name: str, row: Sequence[Any]) -> None:
+        """Insert one row, maintaining any indexes by rebuild."""
+        table = self.catalog.table(table_name)
+        table.insert(row)
+        self._rebuild_indexes(table_name)
+
+    def create_index(
+        self, index_name: str, table_name: str, column_name: str, clustered: bool = False
+    ) -> Index:
+        """Create an index; a clustered index physically re-sorts the table.
+
+        Creating a clustered index changes row ids, so all other indexes
+        on the table are rebuilt afterwards.  Only one clustered index per
+        table is allowed.
+        """
+        table = self.catalog.table(table_name)
+        if clustered:
+            existing = [
+                i
+                for i in self.catalog.indexes_for(table_name)
+                if i.kind is IndexKind.CLUSTERED
+            ]
+            if existing:
+                raise CatalogError(
+                    f"table {table_name} already has a clustered index "
+                    f"({existing[0].name})"
+                )
+            table.cluster_on(column_name)
+            self._rebuild_indexes(table_name)
+        kind = IndexKind.CLUSTERED if clustered else IndexKind.NONCLUSTERED
+        index = Index(index_name, table, column_name, kind)
+        self.catalog.add_index(index)
+        return index
+
+    def _rebuild_indexes(self, table_name: str) -> None:
+        table = self.catalog.table(table_name)
+        for index in self.catalog.indexes_for(table_name):
+            rebuilt = Index(index.name, table, index.column_name, index.kind)
+            self.catalog.drop_index(index.name)
+            self.catalog.add_index(rebuilt)
+
+    def analyze(self, build_histograms: bool = False) -> None:
+        """Refresh statistics for every table.
+
+        With ``build_histograms=True``, columns get equi-depth histograms
+        for sharper selectivity estimates on skewed data.
+        """
+        for table in self.catalog.tables():
+            table.analyze(build_histograms=build_histograms)
+
+    # -- planning --------------------------------------------------------------
+
+    def parse(self, sql: str) -> Query:
+        """Parse SQL text against this database's schemas."""
+        schemas = {t.name: t.schema for t in self.catalog.tables()}
+        return parse_query(sql, schemas)
+
+    def plan(self, query: Query | str) -> UnaryPlan | JoinPlan:
+        """Let the local optimizer choose a plan (without executing)."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        if isinstance(query, SelectQuery):
+            table = self.catalog.table(query.table)
+            return choose_unary_plan(table, self.catalog.indexes_for(table.name), query)
+        left = self.catalog.table(query.left)
+        right = self.catalog.table(query.right)
+        return choose_join_plan(
+            left,
+            right,
+            self.catalog.indexes_for(left.name),
+            self.catalog.indexes_for(right.name),
+            query,
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> QueryResult:
+        """Execute *query*, returning result rows plus timing under load."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        started_at = self.environment.now
+        level = self.environment.level()
+        slowdown = self.environment.slowdown()
+        noise = self._noise()
+
+        if isinstance(query, SelectQuery):
+            plan = self.plan(query)
+            assert isinstance(plan, UnaryPlan)
+            execution: UnaryExecution = plan.execute(self.catalog.table(query.table), query)
+            infos: tuple[AccessInfo, ...] = (execution.info,)
+            plan_desc = execution.info.method
+        else:
+            plan = self.plan(query)
+            assert isinstance(plan, JoinPlan)
+            jexec: JoinExecution = plan.execute(
+                self.catalog.table(query.left), self.catalog.table(query.right), query
+            )
+            execution = jexec  # type: ignore[assignment]
+            infos = (jexec.left_info, jexec.right_info)
+            plan_desc = jexec.method
+
+        breakdown = simulate_elapsed(execution.metrics, self.profile, slowdown, noise)
+        self.environment.advance(breakdown.elapsed)
+        return QueryResult(
+            query=query,
+            result=execution.result,
+            metrics=execution.metrics,
+            breakdown=breakdown,
+            plan=plan_desc,
+            infos=infos,
+            contention_level=level,
+            started_at=started_at,
+        )
+
+    def _noise(self) -> float:
+        if self.noise_sigma == 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+
+    # -- simulation forking -------------------------------------------------
+
+    def save_state(self) -> dict:
+        """Capture (clock time, noise-RNG state) for a later rewind.
+
+        Together with deterministic contention traces this lets an
+        experiment execute alternative plans from the *identical* site
+        state — the simulated analogue of re-running a measurement.
+        """
+        return {
+            "time": self.environment.now,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a state captured with :meth:`save_state`."""
+        self.environment.clock.reset(state["time"])
+        self._rng.bit_generator.state = state["rng"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalDatabase({self.name}, profile={self.profile.name}, "
+            f"{len(self.catalog.table_names)} tables)"
+        )

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the local relational engine.
+
+Every error raised by :mod:`repro.engine` derives from :class:`EngineError`
+so callers (e.g. the MDBS agent) can catch engine failures without
+masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by the local relational engine."""
+
+
+class SchemaError(EngineError):
+    """A table or column definition is invalid or inconsistent."""
+
+
+class CatalogError(EngineError):
+    """A referenced table, column, or index does not exist (or already does)."""
+
+
+class TypeError_(EngineError):
+    """A value does not match the declared column type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class QueryError(EngineError):
+    """A query is malformed with respect to the schema it runs against."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class ExecutionError(EngineError):
+    """The executor hit an unrecoverable condition while running a plan."""

@@ -1,0 +1,260 @@
+"""Join methods: block nested-loop, index nested-loop, sort-merge, hash.
+
+Every method produces the identical (bag-equivalent) result; they differ
+in the physical work they report, which is what drives the simulated
+elapsed times the cost models are trained on.  To keep large joins fast
+in pure Python, the actual matching always uses a hash table internally —
+the *metrics* are what model each algorithm, and correctness tests verify
+all methods agree with a naive reference join.
+
+Per the paper's Table 3, each operand's *intermediate table* is the
+operand reduced by its local selection; join variables include both
+intermediate cardinalities and the size of their Cartesian product.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .errors import ExecutionError
+from .index import Index, IndexKind
+from .metrics import AccessInfo, ExecutionMetrics, sort_comparisons_for
+from .query import JoinQuery
+from .table import ResultTable, Table
+
+#: Buffer pages available to a block nested-loop join.
+NLJ_BUFFER_PAGES = 64
+
+
+@dataclass
+class JoinExecution:
+    """Outcome of one join method."""
+
+    result: ResultTable
+    metrics: ExecutionMetrics
+    left_info: AccessInfo
+    right_info: AccessInfo
+    method: str
+
+
+_sort_comparisons = sort_comparisons_for
+
+
+def _reduce_operand(table: Table, predicate, metrics: ExecutionMetrics) -> list:
+    """Apply a local selection by scanning the operand, charging the work."""
+    metrics.sequential_page_reads += table.num_pages
+    metrics.tuples_read += table.cardinality
+    metrics.tuples_evaluated += table.cardinality
+    reduced = [row for row in table if predicate.evaluate(row, table.schema)]
+    metrics.intermediate_tuples += len(reduced)
+    return reduced
+
+
+def _match_pairs(left_rows, right_rows, lpos: int, rpos: int):
+    """All (left, right) pairs with equal join keys (hash-based)."""
+    buckets: dict = defaultdict(list)
+    for row in right_rows:
+        buckets[row[rpos]].append(row)
+    pairs = []
+    for lrow in left_rows:
+        for rrow in buckets.get(lrow[lpos], ()):
+            pairs.append((lrow, rrow))
+    return pairs
+
+
+def _project_join(
+    left: Table, right: Table, query: JoinQuery, pairs
+) -> ResultTable:
+    """Project matched row pairs onto the query's qualified output columns."""
+    out_cols = query.output_columns(left.schema, right.schema)
+    extractors = []
+    tuple_length = 0
+    for qualified in out_cols:
+        tname, _, cname = qualified.partition(".")
+        if tname == query.left:
+            pos = left.schema.position(cname)
+            extractors.append(("l", pos))
+            tuple_length += left.schema.column(cname).width
+        else:
+            pos = right.schema.position(cname)
+            extractors.append(("r", pos))
+            tuple_length += right.schema.column(cname).width
+    rows = [
+        tuple(lrow[p] if side == "l" else rrow[p] for side, p in extractors)
+        for lrow, rrow in pairs
+    ]
+    return ResultTable(out_cols, tuple_length, rows)
+
+
+def _operand_info(
+    table: Table, intermediate: int, method: str
+) -> AccessInfo:
+    return AccessInfo(
+        method=method,
+        operand_cardinality=table.cardinality,
+        intermediate_cardinality=intermediate,
+        operand_tuple_length=table.tuple_length,
+    )
+
+
+def nested_loop_join(left: Table, right: Table, query: JoinQuery) -> JoinExecution:
+    """Block nested-loop join over the reduced operands.
+
+    The smaller intermediate is the outer; the inner is rescanned once per
+    outer block of :data:`NLJ_BUFFER_PAGES` pages.  Every pair of
+    intermediate tuples is charged a predicate evaluation.
+    """
+    query.validate(left.schema, right.schema)
+    metrics = ExecutionMetrics()
+    li = _reduce_operand(left, query.left_predicate, metrics)
+    ri = _reduce_operand(right, query.right_predicate, metrics)
+
+    # Work accounting: rescan the inner once per outer block.
+    outer_rows, inner_table = (li, right) if len(li) <= len(ri) else (ri, left)
+    outer_table = left if inner_table is right else right
+    outer_pages = outer_table.layout.pages_for(len(outer_rows), outer_table.tuple_length)
+    blocks = max(1, math.ceil(outer_pages / NLJ_BUFFER_PAGES))
+    metrics.sequential_page_reads += (blocks - 1) * inner_table.num_pages
+    metrics.tuples_read += (blocks - 1) * inner_table.cardinality
+    metrics.tuples_evaluated += len(li) * len(ri)
+
+    lpos = left.schema.position(query.left_column)
+    rpos = right.schema.position(query.right_column)
+    pairs = _match_pairs(li, ri, lpos, rpos)
+    result = _project_join(left, right, query, pairs)
+    metrics.tuples_output = result.cardinality
+    return JoinExecution(
+        result,
+        metrics,
+        _operand_info(left, len(li), "nested_loop_join"),
+        _operand_info(right, len(ri), "nested_loop_join"),
+        "nested_loop_join",
+    )
+
+
+def index_nested_loop_join(
+    left: Table, right: Table, query: JoinQuery, inner_index: Index
+) -> JoinExecution:
+    """Index nested-loop join probing *inner_index* on the right operand.
+
+    The right operand is never pre-scanned: each outer tuple traverses the
+    index (height random reads) and fetches its matches, with the right
+    local selection applied as a residual.
+    """
+    query.validate(left.schema, right.schema)
+    if inner_index.table is not right:
+        raise ExecutionError("inner_index must index the right operand")
+    if inner_index.column_name != query.right_column:
+        raise ExecutionError(
+            f"inner_index is on {inner_index.column_name!r}, join needs "
+            f"{query.right_column!r}"
+        )
+    metrics = ExecutionMetrics()
+    li = _reduce_operand(left, query.left_predicate, metrics)
+
+    lpos = left.schema.position(query.left_column)
+    ratio = inner_index.clustering_ratio()
+    rows_per_page = right.layout.rows_per_page(right.tuple_length)
+    kind_is_clustered = inner_index.kind is IndexKind.CLUSTERED
+
+    pairs = []
+    matched_inner_ids: set[int] = set()
+    for lrow in li:
+        row_ids = inner_index.lookup(lrow[lpos])
+        metrics.random_page_reads += inner_index.height
+        k = len(row_ids)
+        if kind_is_clustered:
+            metrics.sequential_page_reads += math.ceil(k / rows_per_page) if k else 0
+        else:
+            metrics.random_page_reads += math.ceil(
+                k * (1.0 - ratio) + k * ratio / rows_per_page
+            )
+        metrics.tuples_read += k
+        for rid in row_ids:
+            rrow = right.row(rid)
+            metrics.tuples_evaluated += 1
+            if query.right_predicate.evaluate(rrow, right.schema):
+                pairs.append((lrow, rrow))
+                matched_inner_ids.add(rid)
+    metrics.intermediate_tuples += len(matched_inner_ids)
+
+    result = _project_join(left, right, query, pairs)
+    metrics.tuples_output = result.cardinality
+    return JoinExecution(
+        result,
+        metrics,
+        _operand_info(left, len(li), "index_nested_loop_join"),
+        _operand_info(right, len(matched_inner_ids), "index_nested_loop_join"),
+        "index_nested_loop_join",
+    )
+
+
+def sort_merge_join(left: Table, right: Table, query: JoinQuery) -> JoinExecution:
+    """Sort-merge join: sort both intermediates on the join key, then merge."""
+    query.validate(left.schema, right.schema)
+    metrics = ExecutionMetrics()
+    li = _reduce_operand(left, query.left_predicate, metrics)
+    ri = _reduce_operand(right, query.right_predicate, metrics)
+
+    metrics.sort_comparisons += _sort_comparisons(len(li)) + _sort_comparisons(len(ri))
+    # Merge pass touches each intermediate tuple once (plus duplicate-key
+    # rescans, charged through the pair evaluations below).
+    lpos = left.schema.position(query.left_column)
+    rpos = right.schema.position(query.right_column)
+    pairs = _match_pairs(li, ri, lpos, rpos)
+    metrics.tuples_evaluated += len(li) + len(ri) + len(pairs)
+
+    result = _project_join(left, right, query, pairs)
+    metrics.tuples_output = result.cardinality
+    return JoinExecution(
+        result,
+        metrics,
+        _operand_info(left, len(li), "sort_merge_join"),
+        _operand_info(right, len(ri), "sort_merge_join"),
+        "sort_merge_join",
+    )
+
+
+def hash_join(left: Table, right: Table, query: JoinQuery) -> JoinExecution:
+    """Classic hash join: build on the smaller intermediate, probe the other."""
+    query.validate(left.schema, right.schema)
+    metrics = ExecutionMetrics()
+    li = _reduce_operand(left, query.left_predicate, metrics)
+    ri = _reduce_operand(right, query.right_predicate, metrics)
+
+    build, probe = (li, ri) if len(li) <= len(ri) else (ri, li)
+    metrics.hash_operations += len(build) + len(probe)
+
+    lpos = left.schema.position(query.left_column)
+    rpos = right.schema.position(query.right_column)
+    pairs = _match_pairs(li, ri, lpos, rpos)
+    metrics.tuples_evaluated += len(pairs)
+
+    result = _project_join(left, right, query, pairs)
+    metrics.tuples_output = result.cardinality
+    return JoinExecution(
+        result,
+        metrics,
+        _operand_info(left, len(li), "hash_join"),
+        _operand_info(right, len(ri), "hash_join"),
+        "hash_join",
+    )
+
+
+def naive_join(left: Table, right: Table, query: JoinQuery) -> ResultTable:
+    """Reference nested-loops join used by correctness tests (no metrics)."""
+    query.validate(left.schema, right.schema)
+    lpos = left.schema.position(query.left_column)
+    rpos = right.schema.position(query.right_column)
+    pairs = []
+    for lrow in left:
+        if not query.left_predicate.evaluate(lrow, left.schema):
+            continue
+        for rrow in right:
+            if not query.right_predicate.evaluate(rrow, right.schema):
+                continue
+            if lrow[lpos] == rrow[rpos]:
+                pairs.append((lrow, rrow))
+    return _project_join(left, right, query, pairs)

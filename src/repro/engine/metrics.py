@@ -1,0 +1,85 @@
+"""Execution metrics: the physical work a plan performed.
+
+Every access method reports what it did in terms of page I/O and CPU
+operations.  :mod:`repro.engine.costing` turns these counters into a
+simulated elapsed time under a DBMS profile and the current contention
+level.  Keeping work-counting separate from time conversion is what lets
+the same execution produce different elapsed times in different
+environments — exactly the phenomenon the paper's method models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+
+def sort_comparisons_for(n: int) -> int:
+    """Comparison-count model for sorting *n* tuples (n log2 n)."""
+    if n <= 1:
+        return 0
+    return int(n * math.ceil(math.log2(n)))
+
+
+@dataclass
+class ExecutionMetrics:
+    """Physical work counters accumulated while executing a plan."""
+
+    #: Pages read sequentially (table scans, clustered range scans).
+    sequential_page_reads: int = 0
+    #: Pages read at random (index traversals, unclustered tuple fetches).
+    random_page_reads: int = 0
+    #: Tuples fetched from storage.
+    tuples_read: int = 0
+    #: Tuples on which a predicate was evaluated.
+    tuples_evaluated: int = 0
+    #: Tuples placed in the result (projection + copy cost).
+    tuples_output: int = 0
+    #: Comparisons performed by sort operators.
+    sort_comparisons: int = 0
+    #: Hash-table build/probe operations.
+    hash_operations: int = 0
+    #: Tuples materialized into intermediate results.
+    intermediate_tuples: int = 0
+
+    def __add__(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        return ExecutionMetrics(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def total_page_reads(self) -> int:
+        return self.sequential_page_reads + self.random_page_reads
+
+    def validate(self) -> None:
+        """All counters must be non-negative."""
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"negative metric: {f.name}")
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """Globally observable facts about one operand's access.
+
+    These feed the cost-model explanatory variables of the paper's
+    Table 3: the *intermediate table* is the operand reduced by the
+    index-servable part of its predicate (before residual filtering).
+    """
+
+    #: Access method actually used (e.g. ``"seq_scan"``).
+    method: str
+    #: Operand cardinality N_o.
+    operand_cardinality: int
+    #: Intermediate cardinality N_i (after sargable predicate).
+    intermediate_cardinality: int
+    #: Operand tuple length L_o (bytes).
+    operand_tuple_length: int

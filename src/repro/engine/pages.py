@@ -1,0 +1,58 @@
+"""Page-level storage accounting.
+
+The engine stores rows in memory but *accounts* for them in fixed-size
+pages, because every cost the paper regresses against is ultimately
+I/O-shaped: a sequential scan reads ``pages(table)`` pages, an unclustered
+index lookup pays one random page read per qualifying tuple, and so on.
+
+Keeping the page math in one place makes the access-method cost formulas
+(:mod:`repro.engine.access`, :mod:`repro.engine.joins`) easy to audit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default page size in bytes; matches common DBMS defaults (8 KiB).
+DEFAULT_PAGE_SIZE = 8192
+
+#: Per-row bookkeeping overhead (slot pointer + header), in bytes.
+ROW_OVERHEAD = 8
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Describes how rows of a given tuple length pack into pages."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def rows_per_page(self, tuple_length: int) -> int:
+        """How many rows of *tuple_length* bytes fit in one page (>= 1)."""
+        if tuple_length <= 0:
+            raise ValueError("tuple_length must be positive")
+        per_page = self.page_size // (tuple_length + ROW_OVERHEAD)
+        return max(1, per_page)
+
+    def pages_for(self, cardinality: int, tuple_length: int) -> int:
+        """Number of pages needed to hold *cardinality* rows."""
+        if cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+        if cardinality == 0:
+            return 0
+        return math.ceil(cardinality / self.rows_per_page(tuple_length))
+
+    def pages_for_fraction(
+        self, cardinality: int, tuple_length: int, fraction: float
+    ) -> int:
+        """Pages touched when reading a contiguous *fraction* of the rows.
+
+        Used by clustered-index range scans: qualifying rows are physically
+        adjacent, so the scan touches ``ceil(fraction * pages)`` pages.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        total = self.pages_for(cardinality, tuple_length)
+        if total == 0 or fraction == 0.0:
+            return 0
+        return max(1, math.ceil(total * fraction))

@@ -1,0 +1,189 @@
+"""Table schemas: column definitions, widths, and derived statistics.
+
+The paper's explanatory variables (Table 3) are all derived from schema
+and catalog statistics visible at the global level: cardinalities, tuple
+lengths, and their products (table lengths).  :class:`TableSchema` is the
+single source of truth for tuple length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .errors import SchemaError
+from .types import DataType, Row
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    dtype:
+        Scalar :class:`~repro.engine.types.DataType`.
+    width:
+        Storage width in bytes.  Defaults to the type's natural width;
+        wider STR columns let workloads vary tuple length, which the
+        paper uses as a secondary explanatory variable.
+    """
+
+    name: str
+    dtype: DataType
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.width == 0:
+            object.__setattr__(self, "width", self.dtype.default_width)
+        if self.width <= 0:
+            raise SchemaError(f"column {self.name}: width must be positive")
+
+    def validate(self, value: Any) -> Any:
+        """Validate and coerce *value* for this column."""
+        return self.dtype.validate(value)
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` objects with name lookup."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name: {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name}: at least one column is required")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name}: duplicate column names")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index: dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+
+    # -- lookup ---------------------------------------------------------
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._index
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` called *name*."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"table {self.name}: no column {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column *name* (0-based)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name}: no column {name!r}") from None
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    # -- derived statistics ----------------------------------------------
+
+    @property
+    def tuple_length(self) -> int:
+        """Tuple length in bytes — the paper's ``tuple length of operand table``."""
+        return sum(c.width for c in self.columns)
+
+    def projected_tuple_length(self, column_names: Iterable[str]) -> int:
+        """Tuple length of a projection — the paper's result tuple length."""
+        return sum(self.column(n).width for n in column_names)
+
+    # -- row handling -----------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any]) -> Row:
+        """Validate a row against the schema, returning a canonical tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name}: row has {len(row)} values, "
+                f"schema has {len(self.columns)} columns"
+            )
+        return tuple(c.validate(v) for c, v in zip(self.columns, row))
+
+    def project(self, column_names: Sequence[str]) -> "TableSchema":
+        """Schema of the projection of this table onto *column_names*."""
+        return TableSchema(self.name, [self.column(n) for n in column_names])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.dtype.value}({c.width})" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+@dataclass
+class ColumnStatistics:
+    """Per-column statistics kept in the local catalog.
+
+    Used for selectivity estimation — the local optimizer needs these to
+    pick access paths, exactly as a real DBMS would.  An optional
+    equi-depth histogram (see :mod:`repro.engine.histogram`) refines
+    range/equality estimates on skewed columns; when absent, estimation
+    falls back to uniform interpolation over [minimum, maximum].
+    """
+
+    minimum: Any = None
+    maximum: Any = None
+    distinct_count: int = 0
+    histogram: Any = None  # Optional[EquiDepthHistogram]
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Any], build_histogram: bool = False, buckets: int = 16
+    ) -> "ColumnStatistics":
+        """Compute statistics over *values* in one pass.
+
+        With ``build_histogram=True`` (numeric columns only), an
+        equi-depth histogram is attached as well.
+        """
+        minimum = None
+        maximum = None
+        distinct: set[Any] = set()
+        collected: list[Any] = []
+        for v in values:
+            if minimum is None or v < minimum:
+                minimum = v
+            if maximum is None or v > maximum:
+                maximum = v
+            distinct.add(v)
+            if build_histogram:
+                collected.append(v)
+        import numbers
+
+        histogram = None
+        if (
+            build_histogram
+            and collected
+            and isinstance(minimum, numbers.Real)
+            and not isinstance(minimum, bool)
+        ):
+            from .histogram import EquiDepthHistogram
+
+            histogram = EquiDepthHistogram.build(collected, num_buckets=buckets)
+        return cls(
+            minimum=minimum,
+            maximum=maximum,
+            distinct_count=len(distinct),
+            histogram=histogram,
+        )
+
+
+@dataclass
+class TableStatistics:
+    """Per-table statistics: cardinality plus per-column stats."""
+
+    cardinality: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for *name*, or empty statistics if never analyzed."""
+        return self.columns.get(name, ColumnStatistics())

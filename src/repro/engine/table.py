@@ -1,0 +1,161 @@
+"""In-memory row tables with page accounting and catalog statistics."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from .errors import SchemaError
+from .pages import PageLayout
+from .schema import ColumnStatistics, TableSchema, TableStatistics
+from .types import Row
+
+
+class Table:
+    """A heap (or clustered) table: schema + rows + statistics.
+
+    Rows are stored in a Python list; the *physical order* of that list is
+    meaningful — a clustered index keeps the rows sorted on its key column
+    (see :meth:`cluster_on`), which is what makes clustered-index range
+    scans cheap in the cost accounting.
+    """
+
+    def __init__(self, schema: TableSchema, layout: PageLayout | None = None) -> None:
+        self.schema = schema
+        self.layout = layout or PageLayout()
+        self._rows: list[Row] = []
+        self._stats: TableStatistics | None = None
+        #: Name of the column the rows are physically sorted on, if any.
+        self.clustered_on: str | None = None
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows — the paper's ``size of operand table`` variable."""
+        return len(self._rows)
+
+    @property
+    def tuple_length(self) -> int:
+        return self.schema.tuple_length
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied by the table under the configured page layout."""
+        return self.layout.pages_for(self.cardinality, self.tuple_length)
+
+    @property
+    def table_length(self) -> int:
+        """Total bytes — the paper's ``operand table length`` (cardinality x tuple length)."""
+        return self.cardinality * self.tuple_length
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def row(self, row_id: int) -> Row:
+        """Fetch a row by id (its current physical position)."""
+        return self._rows[row_id]
+
+    def rows(self) -> Sequence[Row]:
+        """The full row sequence (read-only by convention)."""
+        return self._rows
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Validate and append one row; returns its row id."""
+        validated = self.schema.validate_row(row)
+        self._rows.append(validated)
+        self._stats = None
+        return len(self._rows) - 1
+
+    def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Validate and append many rows; returns number inserted."""
+        count = 0
+        for row in rows:
+            self._rows.append(self.schema.validate_row(row))
+            count += 1
+        self._stats = None
+        return count
+
+    def cluster_on(self, column_name: str) -> None:
+        """Physically sort rows on *column_name* (clustered-index order).
+
+        Row ids change; any existing index must be rebuilt afterwards —
+        :meth:`repro.engine.database.LocalDatabase.create_index` handles
+        that ordering for callers.
+        """
+        pos = self.schema.position(column_name)
+        self._rows.sort(key=lambda r: r[pos])
+        self.clustered_on = column_name
+
+    # -- statistics ---------------------------------------------------------
+
+    def analyze(
+        self, build_histograms: bool = False, histogram_buckets: int = 16
+    ) -> TableStatistics:
+        """(Re)compute and cache catalog statistics for all columns.
+
+        With ``build_histograms=True``, numeric columns additionally get
+        equi-depth histograms for sharper selectivity estimation.
+        """
+        stats = TableStatistics(cardinality=self.cardinality)
+        for i, col in enumerate(self.schema.columns):
+            stats.columns[col.name] = ColumnStatistics.from_values(
+                (r[i] for r in self._rows),
+                build_histogram=build_histograms,
+                buckets=histogram_buckets,
+            )
+        self._stats = stats
+        return stats
+
+    @property
+    def statistics(self) -> TableStatistics:
+        """Cached statistics, computing them on first access."""
+        if self._stats is None:
+            self.analyze()
+        assert self._stats is not None
+        return self._stats
+
+    def column_values(self, column_name: str) -> list[Any]:
+        """All values of one column, in physical row order."""
+        pos = self.schema.position(column_name)
+        return [r[pos] for r in self._rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name}, {self.cardinality} rows, {self.num_pages} pages)"
+
+
+class ResultTable:
+    """A lightweight materialized query result.
+
+    Carries just enough structure for the cost-model variables: result
+    cardinality and result tuple length.
+    """
+
+    def __init__(self, column_names: Sequence[str], tuple_length: int, rows: list[Row]):
+        if len(set(column_names)) != len(column_names):
+            raise SchemaError("duplicate column names in result")
+        self.column_names = tuple(column_names)
+        self.tuple_length = tuple_length
+        self.rows = rows
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    @property
+    def table_length(self) -> int:
+        return self.cardinality * self.tuple_length
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)

@@ -1,0 +1,77 @@
+"""Value types supported by the local relational engine.
+
+The engine is deliberately small: three scalar types cover everything the
+paper's workloads need (tables of random numbers plus string payload
+columns used to vary tuple length).  Each type carries a fixed on-disk
+width so that table and index sizes — and therefore I/O costs — are well
+defined, mirroring how the paper's cost variables (tuple length, table
+length) are computed from catalog statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from .errors import TypeError_
+
+
+class DataType(enum.Enum):
+    """Scalar column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store values of this data type."""
+        return _PYTHON_TYPES[self]
+
+    @property
+    def default_width(self) -> int:
+        """Default storage width in bytes (used when the column omits one)."""
+        return _DEFAULT_WIDTHS[self]
+
+    def validate(self, value: Any) -> Any:
+        """Coerce *value* to this type, raising :class:`TypeError_` on mismatch.
+
+        Integers are accepted for FLOAT columns (widening), but floats are
+        rejected for INT columns to catch accidental truncation.
+        """
+        if value is None:
+            raise TypeError_(f"NULL values are not supported (type {self.value})")
+        if self is DataType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError_(f"expected int, got {type(value).__name__}: {value!r}")
+            return value
+        if self is DataType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError_(f"expected float, got {type(value).__name__}: {value!r}")
+            return float(value)
+        if isinstance(value, str):
+            return value
+        raise TypeError_(f"expected str, got {type(value).__name__}: {value!r}")
+
+    def is_comparable_with(self, other: "DataType") -> bool:
+        """Whether values of this type order against values of *other*."""
+        numeric = {DataType.INT, DataType.FLOAT}
+        if self in numeric and other in numeric:
+            return True
+        return self is other
+
+
+_PYTHON_TYPES = {
+    DataType.INT: int,
+    DataType.FLOAT: float,
+    DataType.STR: str,
+}
+
+_DEFAULT_WIDTHS = {
+    DataType.INT: 8,
+    DataType.FLOAT: 8,
+    DataType.STR: 32,
+}
+
+#: A row is a plain tuple of scalar values, positionally matching the schema.
+Row = tuple

@@ -1,0 +1,62 @@
+"""Dynamic local-site environment simulator.
+
+Stands in for the paper's SUN UltraSparc 2 / Solaris testbed: a simulated
+clock, contention-level traces (constant, uniform, random-walk,
+clustered), a slowdown model mapping contention to query stretch, and
+Unix-Table-1-style system statistics for the environment monitor.
+"""
+
+from .clock import SimulationClock
+from .contention import (
+    ClusteredContention,
+    ConstantContention,
+    ContentionCluster,
+    ContentionTrace,
+    DEFAULT_CLUSTERS,
+    RandomWalkContention,
+    SlowdownModel,
+    UniformContention,
+    level_to_processes,
+    processes_to_level,
+)
+from .environment import (
+    Environment,
+    dynamic_clustered_environment,
+    dynamic_uniform_environment,
+    static_environment,
+)
+from .loadbuilder import LoadBuilder
+from .monitor import EnvironmentMonitor
+from .processes import ProcessTable, SimProcess
+from .stats import (
+    MAJOR_CONTENTION_PARAMETERS,
+    MachineSpec,
+    StatisticsModel,
+    SystemStatistics,
+)
+
+__all__ = [
+    "ClusteredContention",
+    "ConstantContention",
+    "ContentionCluster",
+    "ContentionTrace",
+    "DEFAULT_CLUSTERS",
+    "Environment",
+    "EnvironmentMonitor",
+    "LoadBuilder",
+    "MAJOR_CONTENTION_PARAMETERS",
+    "MachineSpec",
+    "ProcessTable",
+    "RandomWalkContention",
+    "SimProcess",
+    "SimulationClock",
+    "SlowdownModel",
+    "StatisticsModel",
+    "SystemStatistics",
+    "UniformContention",
+    "dynamic_clustered_environment",
+    "dynamic_uniform_environment",
+    "level_to_processes",
+    "processes_to_level",
+    "static_environment",
+]

@@ -1,0 +1,46 @@
+"""A simulated wall clock.
+
+All elapsed times in the reproduction are *simulated*: queries advance
+the clock by their computed elapsed time rather than sleeping.  This
+keeps experiments deterministic and fast while preserving the temporal
+structure a dynamic environment needs (contention traces are functions
+of simulated time).
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonically advancing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def reset(self, to_time: float) -> None:
+        """Jump to an arbitrary time — including *backwards*.
+
+        Normal execution only ever advances; reset exists so experiments
+        can *fork* a simulation (run plan A, rewind, run plan B from the
+        identical state).  Contention traces are deterministic functions
+        of time, so rewinding the clock exactly restores the environment.
+        """
+        if to_time < 0:
+            raise ValueError("time must be non-negative")
+        self._now = float(to_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(t={self._now:.3f}s)"

@@ -1,0 +1,146 @@
+"""A simulated process table: the host behind the Table-1 statistics.
+
+Paper Table 1's first block counts running/sleeping/stopped/zombie
+processes — the raw material `top` displays.  This module simulates the
+process population itself: a deterministic (per seed and level) set of
+:class:`SimProcess` entries whose counts, CPU shares, and memory sum to
+figures consistent with :mod:`repro.env.stats`.  Useful for examples
+("show me top on the loaded site"), for tests that want per-process
+detail, and as documentation of where the aggregate statistics come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .contention import level_to_processes
+from .stats import MachineSpec
+
+#: Process states, `top`-style.
+RUNNING = "R"
+SLEEPING = "S"
+STOPPED = "T"
+ZOMBIE = "Z"
+
+#: Name pool for simulated workload processes.
+_NAMES = (
+    "oracle",
+    "db2sysc",
+    "httpd",
+    "java",
+    "cc1",
+    "make",
+    "perl",
+    "sendmail",
+    "nfsd",
+    "syslogd",
+    "cron",
+    "sh",
+)
+
+
+@dataclass(frozen=True)
+class SimProcess:
+    """One simulated process."""
+
+    pid: int
+    name: str
+    state: str
+    cpu_pct: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.state not in (RUNNING, SLEEPING, STOPPED, ZOMBIE):
+            raise ValueError(f"unknown process state {self.state!r}")
+        if self.cpu_pct < 0 or self.memory_mb < 0:
+            raise ValueError("cpu_pct and memory_mb must be non-negative")
+
+
+class ProcessTable:
+    """Generates `top`-style process listings for a contention level."""
+
+    def __init__(self, machine: MachineSpec | None = None, seed: int = 0) -> None:
+        self.machine = machine or MachineSpec()
+        self.seed = seed
+
+    def snapshot(self, level: float, at_time: float = 0.0) -> list[SimProcess]:
+        """The process population at contention *level*.
+
+        Deterministic given (seed, level bucket, time epoch): repeated
+        calls in the same conditions show the same processes, like
+        refreshing `top` quickly.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must be in [0, 1]")
+        epoch = int(at_time // 30.0)
+        rng = np.random.default_rng(
+            (self.seed, int(level * 1000), epoch)
+        )
+        total = self.machine.base_sleeping_processes + level_to_processes(level)
+        n_running = max(1, int(round(level_to_processes(level) * (0.2 + 0.5 * level))))
+        n_stopped = int(round(2 * level))
+        n_zombie = int(round(1 * level))
+        n_sleeping = max(0, total - n_running - n_stopped - n_zombie)
+
+        busy_pct = min(99.0, 8.0 + 88.0 * level)
+        cpu_shares = rng.dirichlet(np.ones(n_running)) * busy_pct
+        used_mem = self.machine.total_memory_mb * (0.25 + 0.70 * level)
+        mem_shares = rng.dirichlet(np.ones(total)) * used_mem
+
+        processes: list[SimProcess] = []
+        pid = 100
+        running_idx = 0
+        mem_idx = 0
+        for state, count in (
+            (RUNNING, n_running),
+            (SLEEPING, n_sleeping),
+            (STOPPED, n_stopped),
+            (ZOMBIE, n_zombie),
+        ):
+            for _ in range(count):
+                cpu = 0.0
+                if state == RUNNING:
+                    cpu = float(cpu_shares[running_idx])
+                    running_idx += 1
+                processes.append(
+                    SimProcess(
+                        pid=pid,
+                        name=str(_NAMES[int(rng.integers(0, len(_NAMES)))]),
+                        state=state,
+                        cpu_pct=cpu,
+                        memory_mb=float(mem_shares[min(mem_idx, total - 1)]),
+                    )
+                )
+                pid += int(rng.integers(1, 40))
+                mem_idx += 1
+        return processes
+
+    def counts(self, level: float, at_time: float = 0.0) -> dict[str, int]:
+        """Process counts per state (Table 1's first four statistics)."""
+        out = {RUNNING: 0, SLEEPING: 0, STOPPED: 0, ZOMBIE: 0}
+        for process in self.snapshot(level, at_time):
+            out[process.state] += 1
+        return out
+
+    def top(self, level: float, n: int = 10, at_time: float = 0.0) -> str:
+        """A `top`-style rendering of the busiest *n* processes."""
+        processes = sorted(
+            self.snapshot(level, at_time),
+            key=lambda p: (p.cpu_pct, p.memory_mb),
+            reverse=True,
+        )[:n]
+        counts = self.counts(level, at_time)
+        lines = [
+            f"processes: {sum(counts.values())} total, {counts[RUNNING]} running, "
+            f"{counts[SLEEPING]} sleeping, {counts[STOPPED]} stopped, "
+            f"{counts[ZOMBIE]} zombie",
+            f"{'PID':>6} {'NAME':<10} {'S':>1} {'%CPU':>6} {'MEM(MB)':>8}",
+        ]
+        for p in processes:
+            lines.append(
+                f"{p.pid:>6} {p.name:<10} {p.state:>1} {p.cpu_pct:>6.1f} "
+                f"{p.memory_mb:>8.1f}"
+            )
+        return "\n".join(lines)

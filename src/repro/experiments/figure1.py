@@ -1,0 +1,77 @@
+"""Figure 1: effect of the dynamic factor on query cost.
+
+The paper fixes one query — ``SELECT a1, a5, a7 FROM R7 WHERE a3 > 300
+AND a8 < 2000`` on a 50,000-tuple table — and sweeps the number of
+concurrent processes on the host from ~50 to ~130, observing the elapsed
+time climb from 3.80 s to 124.02 s (a ~33x swing).
+
+We reproduce the sweep by holding the contention level constant at each
+process count (via the load builder) and executing the same query.  The
+assertion of interest is the *shape*: monotone, superlinear growth with a
+swing of the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.database import LocalDatabase
+from ..engine.profiles import ORACLE_LIKE
+from ..env.contention import PROCESS_BASELINE, PROCESS_SPAN, processes_to_level
+from ..env.loadbuilder import LoadBuilder
+from ..workload.scenarios import make_site
+from .config import ExperimentConfig
+
+#: The paper's Figure-1 query.
+FIGURE1_SQL = "select a1, a5, a7 from R7 where a3 > 300 and a8 < 2000"
+
+
+@dataclass
+class Figure1Result:
+    """The sweep's series plus summary statistics."""
+
+    process_counts: list[int]
+    costs: list[float]
+
+    @property
+    def min_cost(self) -> float:
+        return min(self.costs)
+
+    @property
+    def max_cost(self) -> float:
+        return max(self.costs)
+
+    @property
+    def swing(self) -> float:
+        """max/min cost ratio (the paper observed ~33x)."""
+        return self.max_cost / self.min_cost if self.min_cost > 0 else float("inf")
+
+
+def run_figure1(
+    config: ExperimentConfig | None = None,
+    num_points: int = 9,
+    repeats: int = 3,
+) -> Figure1Result:
+    """Sweep concurrent processes, observing the Figure-1 query's cost."""
+    config = config or ExperimentConfig()
+    site = make_site(
+        "figure1_site",
+        profile=ORACLE_LIKE,
+        environment_kind="static",
+        scale=config.scale,
+        seed=config.seed,
+        noise_sigma=0.03,
+    )
+    database: LocalDatabase = site.database
+    loads = LoadBuilder(site.environment)
+
+    counts: list[int] = []
+    costs: list[float] = []
+    for i in range(num_points):
+        processes = PROCESS_BASELINE + round(i * PROCESS_SPAN / (num_points - 1))
+        loads.constant(processes_to_level(processes))
+        # Average a few executions, like repeated stopwatch readings.
+        samples = [database.execute(FIGURE1_SQL).elapsed for _ in range(repeats)]
+        counts.append(processes)
+        costs.append(sum(samples) / len(samples))
+    return Figure1Result(process_counts=counts, costs=costs)

@@ -1,0 +1,12 @@
+"""Figure 10: histogram of the contention level in the clustered case.
+
+The data comes from the same clustered-environment sampling run as
+Table 6; this module re-exports that path under the figure's name so the
+per-experiment index stays one-to-one.
+"""
+
+from __future__ import annotations
+
+from .table6 import Table6Result, render_figure10, run_table6
+
+__all__ = ["Table6Result", "render_figure10", "run_table6"]

@@ -1,0 +1,106 @@
+"""Figures 4–9: observed vs estimated costs for test queries.
+
+Six plots, one per (class in {G1, G2, G3}) x (DBMS in {DB2, Oracle}):
+test queries sorted by result size, with three series — observed cost,
+multi-states estimate, and one-state estimate.  The visible story is
+that the multi-states estimates hug the observed scatter while the
+one-state estimates form a single compromise curve that misses both the
+low- and high-contention executions.
+
+We regenerate the series data; :func:`render_figure` prints it as
+aligned columns, and :func:`tracking_error` quantifies "hugging the
+scatter" so benches can assert the shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.classification import QueryClass
+from ..engine.profiles import DBMSProfile
+from .config import ExperimentConfig
+from .harness import TestPoint, cached_class_experiment
+from .report import format_series
+from .table4 import TABLE4_CLASSES, TABLE4_PROFILES
+
+#: (figure number, profile index, class index) mapping mirroring the paper:
+#: Figs 4/5 = G1 on DB2/Oracle, 6/7 = G2, 8/9 = G3.
+FIGURE_LAYOUT = {
+    4: ("db2_like", "G1"),
+    5: ("oracle_like", "G1"),
+    6: ("db2_like", "G2"),
+    7: ("oracle_like", "G2"),
+    8: ("db2_like", "G3"),
+    9: ("oracle_like", "G3"),
+}
+
+
+@dataclass
+class FigureResult:
+    """One figure's series."""
+
+    figure_number: int
+    profile: str
+    class_label: str
+    points: list[TestPoint]
+
+    def series(self) -> dict[str, list[float]]:
+        return {
+            "observed": [p.observed for p in self.points],
+            "multi_states": [p.estimated_multi for p in self.points],
+            "one_state": [p.estimated_one_state for p in self.points],
+        }
+
+    @property
+    def x(self) -> list[float]:
+        return [p.result_tuples for p in self.points]
+
+
+def tracking_error(observed: list[float], estimated: list[float]) -> float:
+    """Root-mean-square estimation error, normalized by the mean cost."""
+    obs = np.asarray(observed)
+    est = np.asarray(estimated)
+    scale = float(np.mean(np.abs(obs)))
+    if scale == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((est - obs) ** 2))) / scale
+
+
+def run_figure(
+    figure_number: int, config: ExperimentConfig | None = None
+) -> FigureResult:
+    """Regenerate one of Figures 4–9."""
+    if figure_number not in FIGURE_LAYOUT:
+        raise ValueError(f"figure {figure_number} is not one of Figures 4-9")
+    config = config or ExperimentConfig()
+    profile_name, class_label = FIGURE_LAYOUT[figure_number]
+    profile = next(p for p in TABLE4_PROFILES if p.name == profile_name)
+    query_class = next(c for c in TABLE4_CLASSES if c.label == class_label)
+    result = cached_class_experiment(profile, query_class, config)
+    return FigureResult(
+        figure_number=figure_number,
+        profile=profile_name,
+        class_label=class_label,
+        points=result.test_points,
+    )
+
+
+def run_all_figures(config: ExperimentConfig | None = None) -> list[FigureResult]:
+    config = config or ExperimentConfig()
+    return [run_figure(n, config) for n in sorted(FIGURE_LAYOUT)]
+
+
+def render_figure(figure: FigureResult, max_rows: int = 20) -> str:
+    title = (
+        f"Figure {figure.figure_number}: costs for test queries in "
+        f"{figure.class_label} on {figure.profile}"
+    )
+    return format_series(
+        figure.x,
+        figure.series(),
+        x_label="result_tuples",
+        title=title,
+        max_rows=max_rows,
+    )

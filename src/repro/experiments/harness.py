@@ -1,0 +1,263 @@
+"""The shared experiment harness behind the table/figure reproductions.
+
+One *class experiment* (the unit behind Tables 4–5 and Figures 4–9)
+derives, for a given (DBMS profile, query class):
+
+* the **multi-states** cost model (IUPMA on dynamic-environment samples);
+* the **one-state** model — Static Approach 2 (the static method applied
+  to the same dynamic samples);
+* the **static** model — Static Approach 1 (the static method applied to
+  samples from a static environment over the *same* database);
+
+then validates all three on held-out test queries run in the dynamic
+environment.  Results are cached per (profile, class, config) so the
+table and figure benches can share one expensive run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import zlib
+
+import numpy as np
+
+from ..core.builder import BuildOutcome, CostModelBuilder
+from ..core.classification import QueryClass
+from ..core.model import MultiStateCostModel
+from ..core.validation import ValidationReport, validate_model
+from ..core.variables import Observation
+from ..engine.profiles import DBMSProfile
+from ..workload.scenarios import Site, make_site
+from .config import ExperimentConfig
+
+
+@dataclass
+class TestPoint:
+    """One test query's observed and estimated costs (for Figures 4–9)."""
+
+    result_tuples: float
+    observed: float
+    estimated_multi: float
+    estimated_one_state: float
+    estimated_static: float
+
+
+@dataclass
+class ClassExperimentResult:
+    """Everything Tables 4–5 and Figures 4–9 need for one (site, class)."""
+
+    site: str
+    profile: str
+    query_class: QueryClass
+    multi: BuildOutcome
+    one_state: BuildOutcome
+    static: BuildOutcome
+    report_multi: ValidationReport
+    report_one_state: ValidationReport
+    report_static: ValidationReport
+    test_points: list[TestPoint] = field(default_factory=list)
+
+    @property
+    def models(self) -> dict[str, MultiStateCostModel]:
+        return {
+            "multi-states": self.multi.model,
+            "one-state": self.one_state.model,
+            "static": self.static.model,
+        }
+
+    @property
+    def reports(self) -> dict[str, ValidationReport]:
+        return {
+            "multi-states": self.report_multi,
+            "one-state": self.report_one_state,
+            "static": self.report_static,
+        }
+
+
+def _sites_for_profile(
+    profile: DBMSProfile, config: ExperimentConfig
+) -> tuple[Site, Site]:
+    """A dynamic site and a static twin holding the identical database."""
+    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    dynamic = make_site(
+        f"{profile.name}_dyn",
+        profile=profile,
+        environment_kind="uniform",
+        scale=config.scale,
+        seed=seed,
+    )
+    static = make_site(
+        f"{profile.name}_static",
+        profile=profile,
+        environment_kind="static",
+        scale=config.scale,
+        seed=seed,  # same seed -> identical tables
+    )
+    return dynamic, static
+
+
+def _tables_for(query_class: QueryClass, config: ExperimentConfig):
+    if query_class.family == "join":
+        return config.join_tables
+    return None
+
+
+def run_class_experiment(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    environment_kind: str = "uniform",
+    algorithm: str = "iupma",
+) -> ClassExperimentResult:
+    """Derive and validate the three models for one (profile, class)."""
+    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    dynamic = make_site(
+        f"{profile.name}_dyn",
+        profile=profile,
+        environment_kind=environment_kind,
+        scale=config.scale,
+        seed=seed,
+    )
+    static = make_site(
+        f"{profile.name}_static",
+        profile=profile,
+        environment_kind="static",
+        scale=config.scale,
+        seed=seed,
+    )
+    tables = _tables_for(query_class, config)
+
+    dyn_builder = CostModelBuilder(dynamic.database, config=config.builder)
+    static_builder = CostModelBuilder(static.database, config=config.builder)
+
+    train_queries = dynamic.generator.queries_for(
+        query_class, config.train_count(query_class.family), tables=tables
+    )
+    train_obs = dyn_builder.collect(train_queries)
+
+    test_queries = dynamic.generator.queries_for(
+        query_class, config.test_count, tables=tables
+    )
+    test_obs = dyn_builder.collect(test_queries)
+
+    static_queries = static.generator.queries_for(
+        query_class, config.static_train, tables=tables
+    )
+    static_obs = static_builder.collect(static_queries)
+
+    multi = dyn_builder.build_from_observations(train_obs, query_class, algorithm)
+    one_state = dyn_builder.build_from_observations(train_obs, query_class, "static")
+    static_outcome = static_builder.build_from_observations(
+        static_obs, query_class, "static"
+    )
+
+    report_multi = validate_model(multi.model, test_obs)
+    report_one = validate_model(one_state.model, test_obs)
+    report_static = validate_model(static_outcome.model, test_obs)
+
+    points = sorted(
+        (
+            TestPoint(
+                result_tuples=obs.values["nr"],
+                observed=obs.cost,
+                estimated_multi=multi.model.predict(obs.values, obs.probing_cost),
+                estimated_one_state=one_state.model.predict(
+                    obs.values, obs.probing_cost
+                ),
+                estimated_static=static_outcome.model.predict(
+                    obs.values, obs.probing_cost
+                ),
+            )
+            for obs in test_obs
+        ),
+        key=lambda p: p.result_tuples,
+    )
+
+    return ClassExperimentResult(
+        site=dynamic.name,
+        profile=profile.name,
+        query_class=query_class,
+        multi=multi,
+        one_state=one_state,
+        static=static_outcome,
+        report_multi=report_multi,
+        report_one_state=report_one,
+        report_static=report_static,
+        test_points=points,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-bench cache
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple, ClassExperimentResult] = {}
+
+
+def cached_class_experiment(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    environment_kind: str = "uniform",
+    algorithm: str = "iupma",
+) -> ClassExperimentResult:
+    """Memoized :func:`run_class_experiment` (shared across benches)."""
+    key = (
+        profile.name,
+        query_class.label,
+        environment_kind,
+        algorithm,
+        config.scale,
+        config.seed,
+        config.unary_train,
+        config.join_train,
+        config.static_train,
+        config.test_count,
+        config.join_tables,
+    )
+    if key not in _CACHE:
+        _CACHE[key] = run_class_experiment(
+            profile, query_class, config, environment_kind, algorithm
+        )
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def collect_for_algorithm(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    environment_kind: str,
+    algorithm: str,
+) -> tuple[BuildOutcome, ValidationReport, list[Observation]]:
+    """Train one model with *algorithm* and validate it (Table 6 helper)."""
+    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    site = make_site(
+        f"{profile.name}_{environment_kind}",
+        profile=profile,
+        environment_kind=environment_kind,
+        scale=config.scale,
+        seed=seed,
+    )
+    tables = _tables_for(query_class, config)
+    builder = CostModelBuilder(site.database, config=config.builder)
+    train = builder.collect(
+        site.generator.queries_for(
+            query_class, config.train_count(query_class.family), tables=tables
+        )
+    )
+    test = builder.collect(
+        site.generator.queries_for(query_class, config.test_count, tables=tables)
+    )
+    outcome = builder.build_from_observations(train, query_class, algorithm)
+    report = validate_model(outcome.model, test)
+    return outcome, report, test
+
+
+def rng_for(config: ExperimentConfig, salt: int = 0) -> np.random.Generator:
+    """A seeded generator derived from the experiment seed."""
+    return np.random.default_rng(config.seed * 10_007 + salt)

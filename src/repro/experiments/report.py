@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+Everything the harness produces prints as aligned text: table rows like
+the paper's Tables 4–6, and figure series as (x, observed, estimates)
+columns — the data behind the paper's plots, without requiring a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Align *rows* under *headers*; floats get compact formatting."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render one figure's data as aligned columns."""
+    headers = [x_label, *series]
+    rows = [
+        [xi, *(s[i] for s in series.values())]
+        for i, xi in enumerate(x)
+    ]
+    if max_rows is not None and len(rows) > max_rows:
+        step = max(1, len(rows) // max_rows)
+        rows = rows[::step]
+    return format_table(headers, rows, title=title)
+
+
+def ascii_histogram(
+    values: Sequence[float], bins: int = 20, width: int = 50, title: str | None = None
+) -> str:
+    """A terminal histogram (used for Figure 10)."""
+    import numpy as np
+
+    counts, edges = np.histogram(list(values), bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:8.3f}, {hi:8.3f})  {count:4d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""State-count ablation (§5, fourth observation).
+
+"The more contention states are considered, the better the derived cost
+model usually is.  For example, the coefficients of total determination
+for the cost models for query class [G2 on Oracle] with 1 to 6
+contention states are 0.7788, 0.9636, 0.9674, 0.9899, 0.9922 [...]
+However, the improvement may be very small after the number of
+contention states reaches a certain point."
+
+We fit the general qualitative model over uniform partitions with
+m = 1..max and record R² and SEE — the saturating curve is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.builder import CostModelBuilder
+from ..core.classification import G2, QueryClass
+from ..core.fitting import fit_qualitative
+from ..core.partition import uniform_partition
+from ..engine.profiles import DBMSProfile, ORACLE_LIKE
+from ..workload.scenarios import make_site
+from .config import ExperimentConfig
+from .report import format_table
+
+
+@dataclass
+class AblationPoint:
+    num_states: int
+    r_squared: float
+    standard_error: float
+
+
+@dataclass
+class StatesAblationResult:
+    profile: str
+    class_label: str
+    points: list[AblationPoint]
+
+    @property
+    def r_squared_series(self) -> list[float]:
+        return [p.r_squared for p in self.points]
+
+
+def run_states_ablation(
+    config: ExperimentConfig | None = None,
+    profile: DBMSProfile = ORACLE_LIKE,
+    query_class: QueryClass = G2,
+    max_states: int = 6,
+) -> StatesAblationResult:
+    """R²/SEE of the general model for m = 1..max_states uniform states."""
+    config = config or ExperimentConfig()
+    site = make_site(
+        f"{profile.name}_ablation",
+        profile=profile,
+        environment_kind="uniform",
+        scale=config.scale,
+        seed=config.seed,
+    )
+    builder = CostModelBuilder(site.database, config=config.builder)
+    queries = site.generator.queries_for(
+        query_class, config.train_count(query_class.family)
+    )
+    observations = builder.collect(queries)
+
+    names = query_class.variables.basic
+    X = np.array([[obs.values[n] for n in names] for obs in observations])
+    y = np.array([obs.cost for obs in observations])
+    probing = np.array([obs.probing_cost for obs in observations])
+    cmin, cmax = float(probing.min()), float(probing.max())
+
+    points = []
+    for m in range(1, max_states + 1):
+        states = uniform_partition(cmin, cmax, m)
+        fit = fit_qualitative(X, y, probing, states, names)
+        points.append(AblationPoint(m, fit.r_squared, fit.standard_error))
+    return StatesAblationResult(
+        profile=profile.name, class_label=query_class.label, points=points
+    )
+
+
+def render_states_ablation(result: StatesAblationResult) -> str:
+    headers = ("# states", "R2", "SEE")
+    rows = [(p.num_states, p.r_squared, p.standard_error) for p in result.points]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"State-count ablation: {result.class_label} on {result.profile} "
+            "(general qualitative model, uniform partition)"
+        ),
+    )

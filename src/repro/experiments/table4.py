@@ -1,0 +1,55 @@
+"""Table 4: the derived multi-states cost models themselves.
+
+The paper prints, for the three representative classes (G1, G2, G3) on
+each local DBMS, the cost-estimation formulas with the qualitative
+variable — per-state intercepts and slopes.  We reproduce the table by
+rendering each derived model's per-state equations
+(:meth:`~repro.core.model.MultiStateCostModel.equation_table`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classification import G1, G2, G3, QueryClass
+from ..core.model import MultiStateCostModel
+from ..engine.profiles import DB2_LIKE, DBMSProfile, ORACLE_LIKE
+from .config import ExperimentConfig
+from .harness import cached_class_experiment
+
+#: The paper's Table 4 covers these classes on both systems.
+TABLE4_CLASSES: tuple[QueryClass, ...] = (G1, G2, G3)
+TABLE4_PROFILES: tuple[DBMSProfile, ...] = (DB2_LIKE, ORACLE_LIKE)
+
+
+@dataclass
+class Table4Row:
+    """One derived model (one row group of the paper's Table 4)."""
+
+    profile: str
+    query_class: QueryClass
+    model: MultiStateCostModel
+
+    def render(self) -> str:
+        return f"[{self.profile}] " + self.model.equation_table()
+
+
+def run_table4(config: ExperimentConfig | None = None) -> list[Table4Row]:
+    """Derive the Table-4 models for every (profile, class) pair."""
+    config = config or ExperimentConfig()
+    rows = []
+    for profile in TABLE4_PROFILES:
+        for query_class in TABLE4_CLASSES:
+            result = cached_class_experiment(profile, query_class, config)
+            rows.append(
+                Table4Row(
+                    profile=profile.name,
+                    query_class=query_class,
+                    model=result.multi.model,
+                )
+            )
+    return rows
+
+
+def render_table4(rows: list[Table4Row]) -> str:
+    return "\n\n".join(row.render() for row in rows)

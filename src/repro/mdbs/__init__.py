@@ -1,0 +1,58 @@
+"""The multidatabase layer: agents, global catalog, global optimization.
+
+Mirrors the paper's CORDS-MDBS architecture (Figure 3): a global server
+talks to autonomous local DBSs through per-site MDBS agents; derived cost
+models live in the global catalog and drive inter-site plan choice.
+"""
+
+from .agent import MDBSAgent
+from .catalog import GlobalCatalog, GlobalCatalogError, TableFacts
+from .gquery import ComponentQueries, GlobalJoinQuery, decompose
+from .multiway import (
+    JoinLink,
+    MultiJoinQuery,
+    MultiwayExecution,
+    MultiwayExecutor,
+    MultiwayOptimizer,
+    MultiwayPlan,
+    MultiwayStep,
+    Operand,
+)
+from .network import NetworkModel
+from .optimizer import (
+    CostEstimate,
+    GlobalPlan,
+    GlobalQueryOptimizer,
+    estimate_join_variables,
+    estimate_unary_variables,
+    facts_to_statistics,
+)
+from .server import GlobalExecution, MDBSServer, StepTiming
+
+__all__ = [
+    "ComponentQueries",
+    "CostEstimate",
+    "GlobalCatalog",
+    "GlobalCatalogError",
+    "GlobalExecution",
+    "GlobalJoinQuery",
+    "GlobalPlan",
+    "GlobalQueryOptimizer",
+    "JoinLink",
+    "MDBSAgent",
+    "MDBSServer",
+    "MultiJoinQuery",
+    "MultiwayExecution",
+    "MultiwayExecutor",
+    "MultiwayOptimizer",
+    "MultiwayPlan",
+    "MultiwayStep",
+    "NetworkModel",
+    "Operand",
+    "StepTiming",
+    "TableFacts",
+    "decompose",
+    "estimate_join_variables",
+    "estimate_unary_variables",
+    "facts_to_statistics",
+]

@@ -1,0 +1,165 @@
+"""The MDBS agent: the per-site component of the multidatabase system.
+
+Paper Figure 3 / §5: "Local queries are submitted to a local DBS via an
+MDBS agent.  The MDBS agent provides a uniform relational ODBC interface
+for the global server.  It also contains a load builder which generates
+dynamic loads to simulate dynamic application environments", and "may
+also have an environment monitor which collects system statistics used
+for estimating the probing query costs".
+
+The agent is the only path from the global level into a local DBS: it
+executes queries, reports globally visible schema facts, runs the probing
+query, and (optionally) estimates the probing cost from monitor
+statistics instead of executing the probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.classification import QueryClass, classify
+from ..core.probing import ProbingCostEstimator, ProbingQuery, default_probing_query
+from ..engine.database import LocalDatabase, QueryResult
+from ..engine.query import Query
+from ..engine.schema import Column
+from ..engine.types import DataType
+from ..env.loadbuilder import LoadBuilder
+from ..env.monitor import EnvironmentMonitor
+from .catalog import TableFacts
+
+
+class MDBSAgent:
+    """Uniform interface to one autonomous local database system."""
+
+    def __init__(
+        self,
+        database: LocalDatabase,
+        probe: ProbingQuery | None = None,
+        estimator: ProbingCostEstimator | None = None,
+    ) -> None:
+        self.database = database
+        self.load_builder = LoadBuilder(database.environment)
+        self.monitor = EnvironmentMonitor(database.environment)
+        self.probe = probe or default_probing_query(database)
+        self.estimator = estimator
+
+    @property
+    def site(self) -> str:
+        return self.database.name
+
+    # -- the "ODBC" surface ------------------------------------------------
+
+    def execute(self, query: Query | str) -> QueryResult:
+        """Run a local query and return rows + observed elapsed time."""
+        return self.database.execute(query)
+
+    def classify(self, query: Query | str) -> QueryClass:
+        """Predict the query class the local system will use."""
+        return classify(self.database, query)
+
+    # -- probing -------------------------------------------------------------
+
+    def observed_probing_cost(self) -> float:
+        """Execute the probing query; its cost gauges the contention level."""
+        return self.probe.observe()
+
+    def estimated_probing_cost(self) -> float:
+        """Estimate the probing cost from system statistics (paper eq. (2)).
+
+        Requires a calibrated :class:`ProbingCostEstimator`; cheaper than
+        executing the probe, at the price of estimation error.
+        """
+        if self.estimator is None or not self.estimator.is_calibrated:
+            raise RuntimeError(
+                f"agent for {self.site} has no calibrated probing-cost estimator"
+            )
+        return self.estimator.estimate(self.monitor.statistics())
+
+    def probing_cost(self, prefer_estimated: bool = False) -> float:
+        """Current probing cost, estimated when requested and possible."""
+        if (
+            prefer_estimated
+            and self.estimator is not None
+            and self.estimator.is_calibrated
+        ):
+            return self.estimated_probing_cost()
+        return self.observed_probing_cost()
+
+    def calibrate_estimator(
+        self,
+        samples: int = 60,
+        interval_seconds: float = 20.0,
+        estimator: ProbingCostEstimator | None = None,
+    ) -> ProbingCostEstimator:
+        """Calibrate (or re-calibrate) the probing-cost estimator."""
+        self.estimator = estimator or self.estimator or ProbingCostEstimator()
+        self.estimator.calibrate(
+            self.probe, self.monitor, samples=samples, interval_seconds=interval_seconds
+        )
+        return self.estimator
+
+    # -- globally visible schema facts -----------------------------------------
+
+    def export_table_facts(self) -> list[TableFacts]:
+        """Schema facts the global catalog is allowed to see."""
+        facts = []
+        catalog = self.database.catalog
+        for table in catalog.tables():
+            stats = table.statistics
+            column_stats = {
+                name: (cs.minimum, cs.maximum, cs.distinct_count)
+                for name, cs in stats.columns.items()
+            }
+            indexed = {
+                index.column_name: index.kind.value
+                for index in catalog.indexes_for(table.name)
+            }
+            facts.append(
+                TableFacts(
+                    site=self.site,
+                    name=table.name,
+                    cardinality=table.cardinality,
+                    tuple_length=table.tuple_length,
+                    column_widths={
+                        c.name: c.width for c in table.schema.columns
+                    },
+                    column_stats=column_stats,
+                    indexed_columns=indexed,
+                    clustered_on=table.clustered_on,
+                )
+            )
+        return facts
+
+    # -- temporary tables (for shipped intermediate results) ----------------------
+
+    def create_temp_table(
+        self,
+        name: str,
+        column_names: Sequence[str],
+        column_widths: Sequence[int],
+        rows: Sequence[Sequence[Any]],
+    ) -> None:
+        """Materialize shipped rows as a local temporary table.
+
+        Incoming values are stored as-is; columns are typed from the first
+        row (INT/FLOAT/STR), defaulting to FLOAT for empty shipments.
+        """
+        if self.database.catalog.has_table(name):
+            self.drop_temp_table(name)
+        columns = []
+        for i, (col, width) in enumerate(zip(column_names, column_widths)):
+            dtype = DataType.FLOAT
+            if rows:
+                value = rows[0][i]
+                if isinstance(value, bool):
+                    raise TypeError("boolean values are not supported")
+                if isinstance(value, int):
+                    dtype = DataType.INT
+                elif isinstance(value, str):
+                    dtype = DataType.STR
+            columns.append(Column(col, dtype, width))
+        self.database.create_table(name, columns, rows)
+        self.database.catalog.table(name).analyze()
+
+    def drop_temp_table(self, name: str) -> None:
+        self.database.catalog.drop_table(name)

@@ -1,0 +1,35 @@
+"""A simple network model for inter-site data shipping.
+
+The paper treats network factors as out of scope ("some of them were
+considered in [15]") and its experiments run on a LAN; we model the
+network as a *steady* factor — fixed latency plus fixed bandwidth — so
+the dynamic behaviour under study stays local to the sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point shipping cost between two sites."""
+
+    #: Per-message fixed overhead in seconds.
+    latency_seconds: float = 0.01
+    #: Sustained throughput in bytes per second (10 MB/s LAN default).
+    bytes_per_second: float = 10e6
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        if self.bytes_per_second <= 0:
+            raise ValueError("bytes_per_second must be positive")
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to ship *num_bytes* from one site to another."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_seconds + num_bytes / self.bytes_per_second

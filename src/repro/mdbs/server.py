@@ -1,0 +1,183 @@
+"""The MDBS global server: the CORDS-style front end of Figure 3.
+
+Registers per-site agents, maintains the global catalog (schema facts +
+derived cost models), optimizes global queries with the
+:class:`~repro.mdbs.optimizer.GlobalQueryOptimizer`, and executes the
+chosen plan for real: local component selections at each site, shipping
+of one intermediate over the modeled network, and the join over
+materialized temporaries at the join site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.model import MultiStateCostModel
+from ..engine.query import JoinQuery
+from .agent import MDBSAgent
+from .catalog import GlobalCatalog
+from .gquery import GlobalJoinQuery
+from .network import NetworkModel
+from .optimizer import GlobalPlan, GlobalQueryOptimizer
+
+_TEMP_LEFT = "_g_left"
+_TEMP_RIGHT = "_g_right"
+
+
+@dataclass
+class StepTiming:
+    """Observed elapsed time of one plan step."""
+
+    description: str
+    seconds: float
+
+
+@dataclass
+class GlobalExecution:
+    """Result of executing one global query."""
+
+    plan: GlobalPlan
+    column_names: tuple[str, ...]
+    rows: list[tuple]
+    steps: list[StepTiming] = field(default_factory=list)
+
+    @property
+    def observed_seconds(self) -> float:
+        return sum(s.seconds for s in self.steps)
+
+    @property
+    def estimated_seconds(self) -> float:
+        return self.plan.estimated_seconds
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+
+class MDBSServer:
+    """The global level of the multidatabase system."""
+
+    def __init__(self, network: NetworkModel | None = None) -> None:
+        self.catalog = GlobalCatalog()
+        self.agents: dict[str, MDBSAgent] = {}
+        self.network = network or NetworkModel()
+
+    # -- registration ----------------------------------------------------
+
+    def register_agent(self, agent: MDBSAgent) -> None:
+        """Attach a local site and import its globally visible facts."""
+        self.agents[agent.site] = agent
+        self.catalog.register_site(agent.site)
+        for facts in agent.export_table_facts():
+            self.catalog.register_table(facts)
+
+    def refresh_site_facts(self, site: str) -> None:
+        """Re-import a site's schema facts (occasionally-changing factors)."""
+        for facts in self.agents[site].export_table_facts():
+            self.catalog.register_table(facts)
+
+    def store_cost_model(self, site: str, model: MultiStateCostModel) -> None:
+        self.catalog.store_cost_model(site, model)
+
+    # -- optimization -----------------------------------------------------------
+
+    def optimizer(self, prefer_estimated_probing: bool = False) -> GlobalQueryOptimizer:
+        return GlobalQueryOptimizer(
+            self.catalog,
+            self.agents,
+            self.network,
+            prefer_estimated_probing=prefer_estimated_probing,
+        )
+
+    def optimize(self, query: GlobalJoinQuery) -> GlobalPlan:
+        """Pick the cheapest join site for *query*."""
+        return self.optimizer().choose(query)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(
+        self, query: GlobalJoinQuery, plan: GlobalPlan | None = None
+    ) -> GlobalExecution:
+        """Execute *query* (optimizing first unless a plan is supplied)."""
+        plan = plan or self.optimize(query)
+        components = plan.components
+        left_agent = self.agents[query.left_site]
+        right_agent = self.agents[query.right_site]
+
+        steps: list[StepTiming] = []
+        left_result = left_agent.execute(components.left)
+        steps.append(
+            StepTiming(
+                f"select {query.left_table} at {query.left_site}", left_result.elapsed
+            )
+        )
+        right_result = right_agent.execute(components.right)
+        steps.append(
+            StepTiming(
+                f"select {query.right_table} at {query.right_site}",
+                right_result.elapsed,
+            )
+        )
+
+        if plan.join_site == "right":
+            join_agent, shipped, local = right_agent, left_result, right_result
+        else:
+            join_agent, shipped, local = left_agent, right_result, left_result
+        transfer = self.network.transfer_seconds(shipped.result.table_length)
+        steps.append(
+            StepTiming(
+                f"ship {shipped.result.cardinality} tuples to {join_agent.site}",
+                transfer,
+            )
+        )
+
+        left_facts = self.catalog.table(query.left_site, query.left_table)
+        right_facts = self.catalog.table(query.right_site, query.right_table)
+        left_widths = [left_facts.column_widths[c] for c in components.left.columns]
+        right_widths = [right_facts.column_widths[c] for c in components.right.columns]
+        left_rows = left_result.result.rows
+        right_rows = right_result.result.rows
+        join_agent.create_temp_table(
+            _TEMP_LEFT, components.left.columns, left_widths, left_rows
+        )
+        join_agent.create_temp_table(
+            _TEMP_RIGHT, components.right.columns, right_widths, right_rows
+        )
+        try:
+            join_query = JoinQuery(
+                _TEMP_LEFT,
+                _TEMP_RIGHT,
+                components.left.columns[components.left_join_position],
+                components.right.columns[components.right_join_position],
+            )
+            join_result = join_agent.execute(join_query)
+            steps.append(
+                StepTiming(f"join at {join_agent.site}", join_result.elapsed)
+            )
+            column_names, rows = self._project_output(
+                query, components, join_result
+            )
+        finally:
+            join_agent.drop_temp_table(_TEMP_LEFT)
+            join_agent.drop_temp_table(_TEMP_RIGHT)
+
+        return GlobalExecution(
+            plan=plan, column_names=column_names, rows=rows, steps=steps
+        )
+
+    def _project_output(self, query, components, join_result):
+        """Map temp-qualified join output back to the requested columns."""
+        produced = list(join_result.result.column_names)
+        if query.columns:
+            wanted = list(query.columns)
+        else:
+            wanted = [f"{query.left_table}.{c}" for c in components.left.columns] + [
+                f"{query.right_table}.{c}" for c in components.right.columns
+            ]
+        positions = []
+        for qualified in wanted:
+            table, _, column = qualified.partition(".")
+            temp = _TEMP_LEFT if table == query.left_table else _TEMP_RIGHT
+            positions.append(produced.index(f"{temp}.{column}"))
+        rows = [tuple(row[p] for p in positions) for row in join_result.result.rows]
+        return tuple(wanted), rows

@@ -1,0 +1,89 @@
+"""Regression diagnostics: multicollinearity (VIF) and related checks.
+
+Paper §4.3: "The presence of multicollinearity is detected by means of
+the variance inflation factor.  [...]  In a dynamic environment with
+multiple contention states, let VIF_{j,i} be the variance inflation
+factor of explanatory variable x_j in state i.  If max_i VIF_{j,i} is
+large, x_j is not included in a cost model to avoid multicollinearity."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .linalg import add_intercept, as_design_matrix
+from .ols import fit_ols
+
+#: Conventional VIF threshold (Neter et al. recommend ~10).
+DEFAULT_VIF_LIMIT = 10.0
+
+
+def variance_inflation_factor(X: np.ndarray, column: int) -> float:
+    """VIF of one column of X against the remaining columns.
+
+    X must NOT contain an intercept column; the auxiliary regression adds
+    its own.  Returns ``inf`` when the column is an exact linear
+    combination of the others, and 1.0 when there is nothing to regress on.
+    """
+    X = as_design_matrix(X)
+    n, p = X.shape
+    if not 0 <= column < p:
+        raise IndexError(f"column {column} out of range for {p}-column matrix")
+    if p == 1 or n < 3:
+        return 1.0
+    target = X[:, column]
+    others = np.delete(X, column, axis=1)
+    if np.allclose(target, target[0]):
+        # A constant column is degenerate with the intercept.
+        return float("inf")
+    result = fit_ols(add_intercept(others), target, has_intercept=True)
+    r2 = result.r_squared
+    if r2 >= 1.0 - 1e-12:
+        return float("inf")
+    return 1.0 / (1.0 - r2)
+
+
+def variance_inflation_factors(X: np.ndarray) -> list[float]:
+    """VIF of every column of X (no intercept column in X)."""
+    X = as_design_matrix(X)
+    return [variance_inflation_factor(X, j) for j in range(X.shape[1])]
+
+
+def max_state_vif(
+    X: np.ndarray, states: Sequence[int], num_states: int, column: int
+) -> float:
+    """max over states of the within-state VIF of one variable.
+
+    This is the paper's screen: a variable collinear with the others *in
+    any state* is excluded.  States with too few observations to fit the
+    auxiliary regression contribute 1.0 (no evidence of collinearity).
+    """
+    X = as_design_matrix(X)
+    states_arr = np.asarray(states)
+    if states_arr.shape[0] != X.shape[0]:
+        raise ValueError("states must have one entry per observation")
+    worst = 1.0
+    for s in range(num_states):
+        mask = states_arr == s
+        sub = X[mask]
+        if sub.shape[0] <= sub.shape[1] + 1:
+            continue
+        worst = max(worst, variance_inflation_factor(sub, column))
+    return worst
+
+
+def collinear_columns(
+    X: np.ndarray,
+    states: Sequence[int],
+    num_states: int,
+    limit: float = DEFAULT_VIF_LIMIT,
+) -> list[int]:
+    """Indices of columns whose max-over-states VIF exceeds *limit*."""
+    X = as_design_matrix(X)
+    return [
+        j
+        for j in range(X.shape[1])
+        if max_state_vif(X, states, num_states, j) > limit
+    ]

@@ -1,0 +1,66 @@
+"""Partial (extra-sum-of-squares) F tests for nested models.
+
+The paper's variable selection uses standard-error-of-estimation
+thresholds (§4.2); the classical alternative from its statistics
+references [11, 12] is the partial F test: does adding the extra terms
+of the *full* model reduce the error sum of squares more than chance
+would?  Exposed for users who want significance-based selection or to
+audit a selection decision after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from .ols import OLSResult
+
+
+@dataclass(frozen=True)
+class PartialFTest:
+    """Result of comparing a reduced model against a full model."""
+
+    f_statistic: float
+    p_value: float
+    df_numerator: int
+    df_denominator: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the full model's extra terms earn their keep."""
+        return self.p_value < alpha
+
+
+def partial_f_test(full: OLSResult, reduced: OLSResult) -> PartialFTest:
+    """Extra-sum-of-squares F test of *reduced* nested in *full*.
+
+    Both fits must be over the same observations (same n, same response);
+    the reduced model must have strictly fewer parameters.  A small
+    p-value means the dropped terms explained real variation.
+    """
+    if full.n_observations != reduced.n_observations:
+        raise ValueError("models were fitted to different numbers of observations")
+    if reduced.n_parameters >= full.n_parameters:
+        raise ValueError(
+            "the reduced model must have fewer parameters than the full model"
+        )
+    df_num = full.n_parameters - reduced.n_parameters
+    df_den = full.degrees_of_freedom
+    if df_den <= 0:
+        raise ValueError("the full model has no error degrees of freedom")
+    sse_full = full.sse
+    sse_reduced = reduced.sse
+    if sse_reduced < sse_full - 1e-9 * max(1.0, sse_full):
+        raise ValueError(
+            "reduced model fits better than the full model — the models "
+            "are not nested (or were fitted to different data)"
+        )
+    mse_full = sse_full / df_den
+    if mse_full <= 0:
+        # Saturated full model: any improvement is infinitely significant.
+        f_stat = float("inf") if sse_reduced > sse_full else 0.0
+        p_value = 0.0 if f_stat > 0 else 1.0
+        return PartialFTest(f_stat, p_value, df_num, df_den)
+    f_stat = max(0.0, (sse_reduced - sse_full) / df_num) / mse_full
+    p_value = float(stats.f.sf(f_stat, df_num, df_den))
+    return PartialFTest(f_stat, p_value, df_num, df_den)

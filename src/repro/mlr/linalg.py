@@ -1,0 +1,57 @@
+"""Numerical kernels for the regression substrate.
+
+Thin wrappers over numpy's linear algebra, with the defensive choices a
+statistics library needs: rank-deficient design matrices solve via the
+pseudo-inverse (minimum-norm solution) instead of raising, and the
+(X'X)^-1 needed for coefficient inference falls back to the
+pseudo-inverse too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_design_matrix(X: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize a design matrix to 2-D float64."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"design matrix must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("design matrix contains non-finite values")
+    return X
+
+
+def as_response_vector(y: np.ndarray, n_rows: int) -> np.ndarray:
+    """Validate and canonicalize a response vector to 1-D float64."""
+    y = np.asarray(y, dtype=float).reshape(-1)
+    if y.shape[0] != n_rows:
+        raise ValueError(
+            f"response has {y.shape[0]} rows, design matrix has {n_rows}"
+        )
+    if not np.all(np.isfinite(y)):
+        raise ValueError("response contains non-finite values")
+    return y
+
+
+def least_squares(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Minimum-norm least-squares solution of X b = y."""
+    coefficients, _, _, _ = np.linalg.lstsq(X, y, rcond=None)
+    return coefficients
+
+
+def xtx_inverse(X: np.ndarray) -> np.ndarray:
+    """(X'X)^-1, via pseudo-inverse when X'X is singular."""
+    xtx = X.T @ X
+    try:
+        return np.linalg.inv(xtx)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(xtx)
+
+
+def add_intercept(X: np.ndarray) -> np.ndarray:
+    """Prepend a column of ones."""
+    X = as_design_matrix(X)
+    return np.hstack([np.ones((X.shape[0], 1)), X])

@@ -1,0 +1,203 @@
+"""Ordinary least squares with the textbook inference the paper uses.
+
+The paper validates cost models with the coefficient of (total/multiple)
+determination R², the standard error of estimation (its eq. (3)), and
+the overall F-test at significance level alpha = 0.01.  All three are
+computed here, along with per-coefficient standard errors and t tests
+(used by the merging adjustment's relative-error comparison and by
+diagnostics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from .linalg import (
+    as_design_matrix,
+    as_response_vector,
+    least_squares,
+    xtx_inverse,
+)
+
+
+@dataclass
+class OLSResult:
+    """A fitted least-squares model plus its goodness-of-fit statistics."""
+
+    coefficients: np.ndarray
+    term_names: tuple[str, ...]
+    fitted: np.ndarray
+    residuals: np.ndarray
+    n_observations: int
+    n_parameters: int
+    #: Coefficient of total determination R².
+    r_squared: float
+    #: Adjusted R² (penalizes parameter count).
+    adjusted_r_squared: float
+    #: Standard error of estimation — paper eq. (3).
+    standard_error: float
+    #: Overall F statistic (None when degenerate, e.g. saturated fit).
+    f_statistic: Optional[float]
+    f_pvalue: Optional[float]
+    #: Per-coefficient standard errors (NaN when df <= 0).
+    coef_std_errors: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    t_statistics: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    t_pvalues: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Coefficient covariance matrix s^2 (X'X)^-1 (None when df <= 0),
+    #: used for prediction intervals and leverage diagnostics.
+    coef_covariance: np.ndarray | None = field(repr=False, default=None)
+
+    @property
+    def degrees_of_freedom(self) -> int:
+        return self.n_observations - self.n_parameters
+
+    @property
+    def sse(self) -> float:
+        """Error sum of squares."""
+        return float(np.sum(self.residuals**2))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict responses for new design-matrix rows."""
+        X = as_design_matrix(X)
+        if X.shape[1] != len(self.coefficients):
+            raise ValueError(
+                f"design matrix has {X.shape[1]} columns, model has "
+                f"{len(self.coefficients)} coefficients"
+            )
+        return X @ self.coefficients
+
+    def coefficient(self, name: str) -> float:
+        """Coefficient value by term name."""
+        try:
+            return float(self.coefficients[self.term_names.index(name)])
+        except ValueError:
+            raise KeyError(f"no term named {name!r}") from None
+
+    def is_significant(self, alpha: float = 0.01) -> bool:
+        """Overall F-test at level *alpha* (paper §5 uses alpha = 0.01)."""
+        if self.f_pvalue is None:
+            return False
+        return self.f_pvalue < alpha
+
+    def summary(self) -> str:
+        """Human-readable fit summary (for examples and reports)."""
+        lines = [
+            f"OLS: n={self.n_observations}, p={self.n_parameters}, "
+            f"R^2={self.r_squared:.4f}, adj R^2={self.adjusted_r_squared:.4f}, "
+            f"SEE={self.standard_error:.4g}",
+        ]
+        if self.f_statistic is not None:
+            lines.append(
+                f"F={self.f_statistic:.2f} (p={self.f_pvalue:.3g})"
+            )
+        width = max((len(n) for n in self.term_names), default=4)
+        for i, name in enumerate(self.term_names):
+            se = self.coef_std_errors[i]
+            lines.append(
+                f"  {name:<{width}}  coef={self.coefficients[i]: .6g}  se={se:.3g}"
+            )
+        return "\n".join(lines)
+
+
+def fit_ols(
+    X: np.ndarray,
+    y: np.ndarray,
+    term_names: Sequence[str] | None = None,
+    has_intercept: bool = True,
+) -> OLSResult:
+    """Fit y ~ X by least squares.
+
+    Parameters
+    ----------
+    X:
+        Design matrix *including* any intercept column — callers build
+        their own designs (the qualitative forms need full control).
+    y:
+        Response vector.
+    term_names:
+        Optional names for the columns of X.
+    has_intercept:
+        Whether the column span includes the constant vector; determines
+        whether R² is computed around the mean (centered) or around zero.
+    """
+    X = as_design_matrix(X)
+    n, p = X.shape
+    y = as_response_vector(y, n)
+    if n < p:
+        raise ValueError(f"need at least as many observations ({n}) as parameters ({p})")
+    if term_names is None:
+        term_names = tuple(f"x{i}" for i in range(p))
+    else:
+        term_names = tuple(term_names)
+        if len(term_names) != p:
+            raise ValueError("term_names length must match design-matrix columns")
+
+    beta = least_squares(X, y)
+    fitted = X @ beta
+    residuals = y - fitted
+    sse = float(np.sum(residuals**2))
+    if has_intercept:
+        sst = float(np.sum((y - y.mean()) ** 2))
+    else:
+        sst = float(np.sum(y**2))
+
+    if sst <= 0.0:
+        r_squared = 1.0 if sse <= 1e-12 else 0.0
+    else:
+        r_squared = max(0.0, min(1.0, 1.0 - sse / sst))
+
+    df_error = n - p
+    df_model = p - 1 if has_intercept else p
+    if df_error > 0:
+        see = float(np.sqrt(sse / df_error))
+        mse = sse / df_error
+    else:
+        see = 0.0
+        mse = 0.0
+    if n - 1 > 0 and df_error > 0 and sst > 0:
+        adjusted = 1.0 - (sse / df_error) / (sst / (n - 1))
+    else:
+        adjusted = r_squared
+
+    f_statistic: Optional[float] = None
+    f_pvalue: Optional[float] = None
+    if df_model > 0 and df_error > 0 and mse > 0:
+        ssr = sst - sse
+        f_statistic = max(0.0, (ssr / df_model) / mse)
+        f_pvalue = float(stats.f.sf(f_statistic, df_model, df_error))
+
+    # Coefficient inference.
+    cov = None
+    if df_error > 0 and mse > 0:
+        cov = mse * xtx_inverse(X)
+        variances = np.clip(np.diag(cov), 0.0, None)
+        std_errors = np.sqrt(variances)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_stats = np.where(std_errors > 0, beta / std_errors, np.inf * np.sign(beta))
+        t_pvals = 2.0 * stats.t.sf(np.abs(t_stats), df_error)
+    else:
+        std_errors = np.full(p, np.nan)
+        t_stats = np.full(p, np.nan)
+        t_pvals = np.full(p, np.nan)
+
+    return OLSResult(
+        coefficients=beta,
+        term_names=term_names,
+        fitted=fitted,
+        residuals=residuals,
+        n_observations=n,
+        n_parameters=p,
+        r_squared=r_squared,
+        adjusted_r_squared=adjusted,
+        standard_error=see,
+        f_statistic=f_statistic,
+        f_pvalue=f_pvalue,
+        coef_std_errors=std_errors,
+        t_statistics=t_stats,
+        t_pvalues=t_pvals,
+        coef_covariance=cov,
+    )

@@ -1,0 +1,61 @@
+"""Synthetic databases, query generation, and canned experimental sites."""
+
+from .querygen import (
+    CLASS_SELECTIVITY,
+    GenerationError,
+    QueryGenerator,
+    SelectivityRange,
+)
+from .scenarios import (
+    ENVIRONMENT_KINDS,
+    Site,
+    make_environment,
+    make_site,
+    paper_sites,
+)
+from .trace import (
+    ReplayRecord,
+    ReplayReport,
+    TraceEntry,
+    WorkloadTrace,
+    replay_trace,
+)
+from .tablegen import (
+    COLUMN_NAMES,
+    COLUMN_RANGES,
+    PAPER_CARDINALITIES,
+    TableSpec,
+    WorkloadSpec,
+    build_local_database,
+    generate_rows,
+    paper_workload,
+    populate_database,
+    small_workload,
+)
+
+__all__ = [
+    "CLASS_SELECTIVITY",
+    "COLUMN_NAMES",
+    "COLUMN_RANGES",
+    "ENVIRONMENT_KINDS",
+    "GenerationError",
+    "PAPER_CARDINALITIES",
+    "QueryGenerator",
+    "ReplayRecord",
+    "ReplayReport",
+    "SelectivityRange",
+    "Site",
+    "TableSpec",
+    "TraceEntry",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "build_local_database",
+    "generate_rows",
+    "make_environment",
+    "make_site",
+    "paper_sites",
+    "paper_workload",
+    "populate_database",
+    "replay_trace",
+    "small_workload",
+]

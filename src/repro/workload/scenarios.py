@@ -1,0 +1,106 @@
+"""Canned experimental sites: database + environment + generator bundles.
+
+The §5 experiments need the same local database observed under different
+environments (static for Static Approach 1, dynamic-uniform for the main
+results, dynamic-clustered for Table 6).  A :class:`Site` bundles one
+local DBS with its environment, load builder, and query generator, and
+the factory functions build the standard configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.database import LocalDatabase
+from ..engine.profiles import DB2_LIKE, DBMSProfile, ORACLE_LIKE
+from ..env.environment import (
+    Environment,
+    dynamic_clustered_environment,
+    dynamic_uniform_environment,
+    static_environment,
+)
+from ..env.loadbuilder import LoadBuilder
+from ..env.monitor import EnvironmentMonitor
+from .querygen import QueryGenerator
+from .tablegen import WorkloadSpec, paper_workload, populate_database
+
+ENVIRONMENT_KINDS = ("static", "uniform", "clustered")
+
+
+@dataclass
+class Site:
+    """One local site of the multidatabase system, ready to experiment on."""
+
+    database: LocalDatabase
+    environment: Environment
+    load_builder: LoadBuilder
+    monitor: EnvironmentMonitor
+    generator: QueryGenerator
+
+    @property
+    def name(self) -> str:
+        return self.database.name
+
+
+def make_environment(kind: str, seed: int = 0) -> Environment:
+    """Build one of the three standard environments."""
+    if kind == "static":
+        return static_environment()
+    if kind == "uniform":
+        return dynamic_uniform_environment(seed=seed)
+    if kind == "clustered":
+        return dynamic_clustered_environment(seed=seed)
+    raise ValueError(f"unknown environment kind {kind!r}; pick from {ENVIRONMENT_KINDS}")
+
+
+def make_site(
+    name: str,
+    profile: DBMSProfile = ORACLE_LIKE,
+    environment_kind: str = "uniform",
+    workload: WorkloadSpec | None = None,
+    scale: float = 0.05,
+    seed: int = 0,
+    noise_sigma: float = 0.05,
+) -> Site:
+    """Assemble a populated site.
+
+    ``scale`` shrinks the paper's 3,000–250,000-row tables so that full
+    pipelines stay laptop-fast; experiments record the scale used.
+    """
+    environment = make_environment(environment_kind, seed=seed)
+    database = LocalDatabase(
+        name,
+        profile=profile,
+        environment=environment,
+        noise_sigma=noise_sigma,
+        seed=seed,
+    )
+    populate_database(database, workload or paper_workload(scale=scale, seed=seed))
+    return Site(
+        database=database,
+        environment=environment,
+        load_builder=LoadBuilder(environment, seed=seed),
+        monitor=EnvironmentMonitor(environment),
+        generator=QueryGenerator(database, seed=seed + 1),
+    )
+
+
+def paper_sites(
+    environment_kind: str = "uniform", scale: float = 0.05, seed: int = 0
+) -> tuple[Site, Site]:
+    """The paper's two local systems: an Oracle-like and a DB2-like site."""
+    oracle = make_site(
+        "oracle_site",
+        profile=ORACLE_LIKE,
+        environment_kind=environment_kind,
+        scale=scale,
+        seed=seed,
+    )
+    db2 = make_site(
+        "db2_site",
+        profile=DB2_LIKE,
+        environment_kind=environment_kind,
+        scale=scale,
+        seed=seed + 100,
+    )
+    return oracle, db2

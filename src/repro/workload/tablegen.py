@@ -1,0 +1,187 @@
+"""Synthetic local databases mirroring the paper's experimental setup.
+
+§5: "each local database has 12 randomly-generated tables (R1 .. R12)
+with cardinalities ranging from 3,000 to 250,000.  Each table has a
+number of indexed columns and various selectivities for different
+columns."  Figure 1's example table is ``R7(a1, ..., a9)`` with 50,000
+tuples of random numbers.
+
+We reproduce that shape: tables R1..R12 with nine integer columns
+``a1..a9`` of uniformly random values, per-column value ranges chosen to
+give a spread of distinct counts (hence selectivities), a non-clustered
+index on ``a1``, and a clustered index on ``a2`` for every third table.
+A ``scale`` knob shrinks cardinalities proportionally so tests and
+benchmarks stay fast; experiments record the scale they used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.database import LocalDatabase
+from ..engine.profiles import DBMSProfile, ORACLE_LIKE
+from ..engine.schema import Column
+from ..engine.types import DataType
+from ..env.environment import Environment
+
+#: Paper-scale cardinalities for R1..R12 (3,000 – 250,000).
+PAPER_CARDINALITIES = (
+    3_000,
+    5_000,
+    8_000,
+    12_000,
+    20_000,
+    30_000,
+    50_000,
+    75_000,
+    100_000,
+    150_000,
+    200_000,
+    250_000,
+)
+
+#: Value range of each column a1..a9 ("various selectivities for
+#: different columns"); a1 scales with the cardinality so its index stays
+#: selective, a4 is the narrow join column, a9 is nearly categorical.
+COLUMN_RANGES = {
+    "a1": None,  # cardinality-dependent
+    "a2": 10_000,
+    "a3": 1_000,
+    "a4": 2_000,
+    "a5": 100_000,
+    "a6": 500,
+    "a7": 50_000,
+    "a8": 2_000,
+    "a9": 10,
+}
+
+COLUMN_NAMES = tuple(COLUMN_RANGES)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One randomly generated table."""
+
+    name: str
+    cardinality: int
+    #: Column name -> exclusive upper bound on its uniform values.
+    ranges: dict[str, int] = field(default_factory=dict)
+    nonclustered_index_on: str | None = "a1"
+    clustered_index_on: str | None = None
+
+    def resolved_ranges(self) -> dict[str, int]:
+        out = {}
+        for col, rng in COLUMN_RANGES.items():
+            if col in self.ranges:
+                out[col] = self.ranges[col]
+            elif rng is None:
+                out[col] = max(1_000, self.cardinality)
+            else:
+                out[col] = rng
+        return out
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A full local database: its tables plus generation parameters."""
+
+    tables: tuple[TableSpec, ...]
+    seed: int = 0
+
+
+def paper_workload(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
+    """The R1..R12 schema at the given cardinality *scale*.
+
+    ``scale=1.0`` reproduces the paper's 3,000–250,000 range; smaller
+    scales shrink every table proportionally (minimum 200 rows).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    tables = []
+    for i, cardinality in enumerate(PAPER_CARDINALITIES, start=1):
+        rows = max(200, int(round(cardinality * scale)))
+        tables.append(
+            TableSpec(
+                name=f"R{i}",
+                cardinality=rows,
+                # Every third table is clustered on a2, giving the
+                # clustered-scan and sort-merge classes real members.
+                clustered_index_on="a2" if i % 3 == 0 else None,
+            )
+        )
+    return WorkloadSpec(tables=tuple(tables), seed=seed)
+
+
+def small_workload(num_tables: int = 4, base_rows: int = 2_000, seed: int = 0) -> WorkloadSpec:
+    """A compact workload for unit/integration tests."""
+    if num_tables < 1:
+        raise ValueError("num_tables must be at least 1")
+    tables = tuple(
+        TableSpec(
+            name=f"R{i}",
+            cardinality=base_rows * i,
+            clustered_index_on="a2" if i % 3 == 0 else None,
+        )
+        for i in range(1, num_tables + 1)
+    )
+    return WorkloadSpec(tables=tables, seed=seed)
+
+
+def generate_rows(spec: TableSpec, rng: np.random.Generator) -> list[tuple]:
+    """Random rows for *spec* (uniform integers per column range)."""
+    ranges = spec.resolved_ranges()
+    matrix = np.column_stack(
+        [
+            rng.integers(0, ranges[col], size=spec.cardinality)
+            for col in COLUMN_NAMES
+        ]
+    )
+    return [tuple(int(v) for v in row) for row in matrix]
+
+
+def populate_database(
+    database: LocalDatabase, workload: WorkloadSpec
+) -> LocalDatabase:
+    """Create and load every table (plus indexes) of *workload*."""
+    rng = np.random.default_rng(workload.seed)
+    columns = [Column(name, DataType.INT) for name in COLUMN_NAMES]
+    for spec in workload.tables:
+        database.create_table(spec.name, columns, generate_rows(spec, rng))
+        if spec.clustered_index_on:
+            database.create_index(
+                f"{spec.name}_c_{spec.clustered_index_on}",
+                spec.name,
+                spec.clustered_index_on,
+                clustered=True,
+            )
+        if spec.nonclustered_index_on:
+            database.create_index(
+                f"{spec.name}_nc_{spec.nonclustered_index_on}",
+                spec.name,
+                spec.nonclustered_index_on,
+                clustered=False,
+            )
+    database.analyze()
+    return database
+
+
+def build_local_database(
+    name: str,
+    profile: DBMSProfile = ORACLE_LIKE,
+    environment: Environment | None = None,
+    workload: WorkloadSpec | None = None,
+    noise_sigma: float = 0.05,
+    seed: int = 0,
+) -> LocalDatabase:
+    """Convenience: a fully populated local DBS in one call."""
+    database = LocalDatabase(
+        name,
+        profile=profile,
+        environment=environment,
+        noise_sigma=noise_sigma,
+        seed=seed,
+    )
+    return populate_database(database, workload or small_workload(seed=seed))

@@ -1,0 +1,179 @@
+"""Timed query workloads and replay against derived cost models.
+
+The paper's motivation is operational: a global optimizer keeps using
+the same derived models while the local site's load swings over hours.
+This module makes that scenario directly testable — build a
+:class:`WorkloadTrace` (queries with arrival times), replay it against a
+live site, and record, query by query, the observed cost, the cost the
+relevant multi-states model would have estimated *at that moment* (fresh
+probing cost, current contention), and the estimate quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.classification import QueryClass, classify
+from ..core.model import MultiStateCostModel
+from ..core.probing import ProbingQuery
+from ..core.validation import is_good, is_very_good, relative_error
+from ..core.variables import extract_variables
+from ..engine.database import LocalDatabase
+from ..engine.query import Query
+from .querygen import QueryGenerator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One query arrival."""
+
+    at_time: float
+    query: Query
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A time-ordered sequence of query arrivals."""
+
+    entries: tuple[TraceEntry, ...]
+
+    def __post_init__(self) -> None:
+        times = [e.at_time for e in self.entries]
+        if times != sorted(times):
+            raise ValueError("trace entries must be sorted by arrival time")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def duration(self) -> float:
+        return self.entries[-1].at_time if self.entries else 0.0
+
+    @classmethod
+    def mixed(
+        cls,
+        generator: QueryGenerator,
+        class_counts: Mapping[QueryClass, int],
+        duration_seconds: float,
+        seed: int = 0,
+        tables: Sequence[str] | None = None,
+    ) -> "WorkloadTrace":
+        """A random mix of classes with uniform arrival times.
+
+        ``class_counts`` maps each query class to how many of its queries
+        the trace contains; arrivals are shuffled together and spread
+        uniformly over ``duration_seconds``.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        rng = np.random.default_rng(seed)
+        queries: list[Query] = []
+        for query_class, count in class_counts.items():
+            queries.extend(generator.queries_for(query_class, count, tables=tables))
+        order = rng.permutation(len(queries))
+        times = np.sort(rng.uniform(0.0, duration_seconds, len(queries)))
+        entries = tuple(
+            TraceEntry(float(t), queries[int(i)]) for t, i in zip(times, order)
+        )
+        return cls(entries)
+
+
+@dataclass
+class ReplayRecord:
+    """One replayed query's outcome."""
+
+    at_time: float
+    class_label: str
+    contention_level: float
+    probing_cost: float
+    observed: float
+    estimated: float | None  # None when no model covers the class
+
+    @property
+    def covered(self) -> bool:
+        return self.estimated is not None
+
+    @property
+    def rel_error(self) -> float:
+        if self.estimated is None:
+            return float("nan")
+        return relative_error(self.estimated, self.observed)
+
+
+@dataclass
+class ReplayReport:
+    """Aggregated outcome of one trace replay."""
+
+    records: list[ReplayRecord] = field(default_factory=list)
+
+    @property
+    def covered_records(self) -> list[ReplayRecord]:
+        return [r for r in self.records if r.covered]
+
+    @property
+    def pct_very_good(self) -> float:
+        covered = self.covered_records
+        if not covered:
+            return 0.0
+        hits = sum(is_very_good(r.estimated, r.observed) for r in covered)
+        return 100.0 * hits / len(covered)
+
+    @property
+    def pct_good(self) -> float:
+        covered = self.covered_records
+        if not covered:
+            return 0.0
+        hits = sum(is_good(r.estimated, r.observed) for r in covered)
+        return 100.0 * hits / len(covered)
+
+    def by_class(self) -> dict[str, list[ReplayRecord]]:
+        out: dict[str, list[ReplayRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.class_label, []).append(record)
+        return out
+
+
+def replay_trace(
+    database: LocalDatabase,
+    trace: WorkloadTrace,
+    models: Mapping[str, MultiStateCostModel],
+    probe: ProbingQuery,
+) -> ReplayReport:
+    """Replay *trace* on *database*, estimating each query just-in-time.
+
+    The simulated clock advances to each arrival; the probe runs to
+    resolve the contention state; the query executes; the class's model
+    (if any) produces the estimate the optimizer *would* have used.
+    """
+    report = ReplayReport()
+    env = database.environment
+    for entry in trace.entries:
+        if entry.at_time > env.now:
+            env.advance(entry.at_time - env.now)
+        query_class = classify(database, entry.query)
+        probing_cost = probe.observe()
+        result = database.execute(entry.query)
+        model = models.get(query_class.label)
+        estimated = (
+            model.predict(extract_variables(result), probing_cost)
+            if model is not None
+            else None
+        )
+        report.records.append(
+            ReplayRecord(
+                at_time=entry.at_time,
+                class_label=query_class.label,
+                contention_level=result.contention_level,
+                probing_cost=probing_cost,
+                observed=result.elapsed,
+                estimated=estimated,
+            )
+        )
+    return report

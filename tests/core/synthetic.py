@@ -1,0 +1,44 @@
+"""Synthetic per-state regression data for core-algorithm tests.
+
+Generates samples with a *known* number of true contention states, each
+with its own intercept and slope — the ground truth the determination
+algorithms are supposed to recover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stepped_sample(
+    true_states: int = 3,
+    n: int = 300,
+    noise: float = 0.05,
+    seed: int = 0,
+    probing_max: float = 1.0,
+    clustered: bool = False,
+):
+    """(X, y, probing) with distinct per-state intercepts and slopes.
+
+    The probing-cost axis [0, probing_max] is split evenly into
+    ``true_states`` bands; within band s the response is
+    ``(1 + 2 s) + 0.5 (1 + s) x`` plus Gaussian noise.  With
+    ``clustered=True`` the probing costs concentrate near each band's
+    centre instead of filling it uniformly.
+    """
+    rng = np.random.default_rng(seed)
+    if clustered:
+        centers = (np.arange(true_states) + 0.5) * probing_max / true_states
+        which = rng.integers(0, true_states, n)
+        probing = centers[which] + rng.normal(0, probing_max / (12 * true_states), n)
+        probing = np.clip(probing, 0, probing_max)
+    else:
+        probing = rng.uniform(0, probing_max, n)
+    band = np.minimum(
+        (probing / probing_max * true_states).astype(int), true_states - 1
+    )
+    x = rng.uniform(0, 100, n)
+    intercept = 1.0 + 2.0 * band
+    slope = 0.5 * (1.0 + band)
+    y = intercept + slope * x + rng.normal(0, noise, n) * (1 + x / 50)
+    return x.reshape(-1, 1), y, probing

@@ -1,0 +1,88 @@
+"""Unit tests for the end-to-end cost-model builder."""
+
+import pytest
+
+from repro.core.builder import BuilderConfig, CostModelBuilder
+from repro.core.classification import G1, G2
+from repro.core.sampling import recommended_sample_size
+
+
+class TestSampleSizing:
+    def test_sample_size_follows_eq4(self, session_site):
+        builder = CostModelBuilder(session_site.database)
+        assert builder.sample_size(G1) == recommended_sample_size(
+            G1.variables,
+            builder.config.sizing_states,
+            builder.config.secondary_allowance,
+        )
+
+
+class TestBuildPipeline:
+    def test_build_produces_model_and_observations(self, session_g1_build):
+        _, outcome = session_g1_build
+        assert outcome.model.class_label == "G1"
+        assert outcome.model.family == "unary"
+        assert len(outcome.observations) == 120
+        assert outcome.determination is not None
+
+    def test_dynamic_environment_yields_multiple_states(self, session_g1_build):
+        _, outcome = session_g1_build
+        assert outcome.model.num_states >= 2
+
+    def test_model_is_statistically_significant(self, session_g1_build):
+        _, outcome = session_g1_build
+        assert outcome.model.is_significant(alpha=0.01)
+        assert outcome.model.r_squared > 0.8
+
+    def test_selected_variables_are_candidates(self, session_g1_build):
+        _, outcome = session_g1_build
+        assert set(outcome.model.variable_names) <= set(G1.variables.all_names)
+        assert len(outcome.model.variable_names) >= 1
+
+    def test_metadata_records_provenance(self, session_g1_build):
+        _, outcome = session_g1_build
+        meta = outcome.model.metadata
+        assert meta["database"] == "session_site"
+        assert "probe" in meta
+        assert isinstance(meta["selection_steps"], list)
+        assert isinstance(meta["state_history"], list)
+        assert meta["state_history"][0]["num_states"] == 1
+
+    def test_static_algorithm_gives_single_state(self, session_g1_build):
+        builder, outcome = session_g1_build
+        static = builder.build_from_observations(
+            outcome.observations, G1, algorithm="static"
+        )
+        assert static.model.num_states == 1
+        assert static.determination is None
+
+    def test_icma_algorithm_runs(self, session_g1_build):
+        builder, outcome = session_g1_build
+        icma = builder.build_from_observations(
+            outcome.observations, G1, algorithm="icma"
+        )
+        assert icma.model.algorithm == "icma"
+        assert icma.model.num_states >= 1
+
+    def test_unknown_algorithm_rejected(self, session_g1_build):
+        builder, outcome = session_g1_build
+        with pytest.raises(ValueError):
+            builder.build_from_observations(outcome.observations, G1, "magic")
+
+    def test_observations_must_carry_class_variables(self, session_g1_build):
+        builder, outcome = session_g1_build
+        # G1 observations lack join variables -> building a join-class
+        # model from them must fail loudly.
+        from repro.core.classification import G3
+
+        with pytest.raises(ValueError):
+            builder.build_from_observations(outcome.observations, G3)
+
+    def test_custom_config_flows_through(self, session_site):
+        from repro.core.iupma import StatesConfig
+
+        config = BuilderConfig(states=StatesConfig(max_states=2))
+        builder = CostModelBuilder(session_site.database, config=config)
+        queries = session_site.generator.queries_for(G1, 60)
+        outcome = builder.build(G1, queries)
+        assert outcome.model.num_states <= 2

@@ -1,0 +1,64 @@
+"""Unit tests for fitting qualitative models over state partitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_qualitative, min_state_count
+from repro.core.partition import ContentionStates, uniform_partition
+from repro.core.qualitative import ModelForm
+
+from .synthetic import stepped_sample
+
+
+class TestFitQualitative:
+    def test_recovers_per_state_coefficients(self):
+        X, y, probing = stepped_sample(true_states=2, n=400, noise=0.0, seed=1)
+        states = uniform_partition(0.0, 1.0, 2)
+        fit = fit_qualitative(X, y, probing, states, ("x",))
+        B = fit.adjusted()
+        assert B[0] == pytest.approx([1.0, 0.5], abs=1e-6)
+        assert B[1] == pytest.approx([3.0, 1.0], abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_single_state_equals_plain_ols(self):
+        X, y, probing = stepped_sample(true_states=1, n=100, seed=2)
+        states = ContentionStates(float(probing.min()), float(probing.max()))
+        fit = fit_qualitative(X, y, probing, states, ("x",))
+        assert fit.num_states == 1
+        assert fit.ols.n_parameters == 2
+
+    def test_matching_partition_beats_mismatched(self):
+        X, y, probing = stepped_sample(true_states=3, n=600, noise=0.1, seed=3)
+        right = fit_qualitative(X, y, probing, uniform_partition(0, 1, 3), ("x",))
+        wrong = fit_qualitative(X, y, probing, uniform_partition(0, 1, 1), ("x",))
+        assert right.r_squared > wrong.r_squared
+        assert right.standard_error < wrong.standard_error
+
+    def test_insufficient_observations_rejected(self):
+        X, y, probing = stepped_sample(true_states=2, n=5, seed=4)
+        with pytest.raises(ValueError):
+            fit_qualitative(X, y, probing, uniform_partition(0, 1, 3), ("x",))
+
+    def test_shape_mismatch_rejected(self):
+        X, y, probing = stepped_sample(n=50)
+        with pytest.raises(ValueError):
+            fit_qualitative(X, y[:-1], probing, uniform_partition(0, 1, 2), ("x",))
+        with pytest.raises(ValueError):
+            fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x", "extra"))
+
+    def test_state_counts(self):
+        X, y, probing = stepped_sample(true_states=2, n=100, seed=5)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x",))
+        counts = fit.state_counts()
+        assert sum(counts) == 100
+        assert min_state_count(fit) == min(counts)
+        assert min_state_count([3, 7, 1]) == 1
+
+    def test_parallel_form_fits_fewer_parameters(self):
+        X, y, probing = stepped_sample(true_states=2, n=200, seed=6)
+        states = uniform_partition(0, 1, 2)
+        general = fit_qualitative(X, y, probing, states, ("x",), ModelForm.GENERAL)
+        parallel = fit_qualitative(X, y, probing, states, ("x",), ModelForm.PARALLEL)
+        assert parallel.ols.n_parameters < general.ols.n_parameters
+        # Data has state-specific slopes, so general must fit better.
+        assert general.r_squared > parallel.r_squared

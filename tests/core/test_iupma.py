@@ -1,0 +1,94 @@
+"""Unit tests for Algorithm 3.1 (IUPMA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iupma import StatesConfig, determine_states_iupma
+from repro.core.qualitative import ModelForm
+
+from .synthetic import stepped_sample
+
+
+class TestIUPMA:
+    def test_finds_multiple_states_for_stepped_data(self):
+        X, y, probing = stepped_sample(true_states=3, n=500, noise=0.05, seed=1)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        assert result.num_states >= 3
+        assert result.fit.r_squared > 0.95
+        assert result.algorithm == "iupma"
+
+    def test_single_state_for_flat_data(self):
+        # One true state: more states never help enough to accept.
+        X, y, probing = stepped_sample(true_states=1, n=300, noise=0.05, seed=2)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        assert result.num_states == 1
+
+    def test_history_starts_at_one_state(self):
+        X, y, probing = stepped_sample(true_states=2, n=300, seed=3)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        assert result.phase1[0].num_states == 1
+        assert result.phase1[0].accepted
+
+    def test_history_counts_are_consecutive(self):
+        X, y, probing = stepped_sample(true_states=3, n=500, seed=4)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        counts = [r.num_states for r in result.phase1]
+        assert counts == list(range(1, len(counts) + 1))
+
+    def test_max_states_respected(self):
+        X, y, probing = stepped_sample(true_states=6, n=800, noise=0.02, seed=5)
+        config = StatesConfig(max_states=3)
+        result = determine_states_iupma(X, y, probing, ("x",), config)
+        assert result.num_states <= 3
+
+    def test_r_squared_improves_with_accepted_states(self):
+        X, y, probing = stepped_sample(true_states=4, n=800, noise=0.02, seed=6)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        accepted = [r.r_squared for r in result.phase1 if r.accepted]
+        assert accepted == sorted(accepted)
+
+    def test_constant_probing_costs_give_single_state(self):
+        X, y, _ = stepped_sample(true_states=1, n=200, seed=7)
+        probing = np.full(200, 0.5)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        assert result.num_states == 1
+
+    def test_small_sample_capped_by_identifiability(self):
+        X, y, probing = stepped_sample(true_states=4, n=14, noise=0.01, seed=8)
+        result = determine_states_iupma(X, y, probing, ("x",))
+        # 14 observations cannot support many (n+1)*m-parameter models.
+        assert result.num_states <= 3
+
+    def test_merging_recorded_when_over_partitioned(self):
+        # Two true states with an off-centre boundary at 0.25: no uniform
+        # partition matches it until m=4, at which point the three states
+        # covering [0.25, 1.0] share coefficients and must merge.
+        rng = np.random.default_rng(9)
+        probing = rng.uniform(0, 1, 900)
+        x = rng.uniform(0, 100, 900)
+        band = (probing >= 0.25).astype(float)
+        y = (1.0 + 4.0 * band) + (0.5 + 1.0 * band) * x + rng.normal(0, 0.01, 900)
+        config = StatesConfig(min_r2_gain=0.001, min_see_gain=0.001, max_states=4)
+        result = determine_states_iupma(x.reshape(-1, 1), y, probing, ("x",), config)
+        assert result.num_states == 2
+        assert result.merges
+        # The surviving boundary sits near the true 0.25 break.
+        (boundary,) = result.states.boundaries
+        assert boundary == pytest.approx(0.25, abs=0.05)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            determine_states_iupma(
+                np.empty((0, 1)), np.empty(0), np.empty(0), ("x",)
+            )
+
+    def test_form_override(self):
+        X, y, probing = stepped_sample(true_states=2, n=300, seed=10)
+        config = StatesConfig(form=ModelForm.PARALLEL)
+        result = determine_states_iupma(X, y, probing, ("x",), config)
+        assert result.fit.form is ModelForm.PARALLEL
+
+    def test_obs_floor_default_derived_from_variables(self):
+        config = StatesConfig()
+        assert config.obs_floor(3) == 5
+        assert StatesConfig(min_obs_per_state=9).obs_floor(3) == 9

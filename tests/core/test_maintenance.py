@@ -1,0 +1,142 @@
+"""Unit tests for cost-model maintenance (§2 occasionally-changing factors)."""
+
+import pytest
+
+from repro.core.builder import CostModelBuilder
+from repro.core.classification import G1
+from repro.core.maintenance import (
+    CatalogSnapshot,
+    ChangeDetector,
+    ModelMaintainer,
+)
+from repro.workload import make_site
+
+
+@pytest.fixture
+def site():
+    return make_site("maint_site", environment_kind="uniform", scale=0.008, seed=33)
+
+
+class TestChangeDetector:
+    def test_no_changes_initially(self, site):
+        assert ChangeDetector(site.database).detect() == []
+
+    def test_small_growth_not_significant(self, site):
+        detector = ChangeDetector(site.database, cardinality_drift=0.2)
+        table = site.database.catalog.table("R1")
+        row = table.row(0)
+        for _ in range(int(table.cardinality * 0.05)):
+            table.insert(row)
+        assert detector.detect() == []
+
+    def test_accumulated_growth_detected(self, site):
+        detector = ChangeDetector(site.database, cardinality_drift=0.2)
+        table = site.database.catalog.table("R1")
+        row = table.row(0)
+        for _ in range(int(table.cardinality * 0.5)):
+            table.insert(row)
+        changes = detector.detect()
+        assert any(c.kind == "cardinality" and c.table == "R1" for c in changes)
+
+    def test_new_index_detected(self, site):
+        detector = ChangeDetector(site.database)
+        site.database.create_index("extra", "R1", "a5")
+        changes = detector.detect()
+        assert any(c.kind == "indexes" and c.table == "R1" for c in changes)
+
+    def test_new_and_dropped_tables_detected(self, site):
+        detector = ChangeDetector(site.database)
+        from repro.engine.schema import Column
+        from repro.engine.types import DataType
+
+        site.database.create_table("extra", [Column("a", DataType.INT)], [(1,)])
+        site.database.catalog.drop_table("R2")
+        kinds = {(c.kind, c.table) for c in detector.detect()}
+        assert ("table_added", "extra") in kinds
+        assert ("table_dropped", "R2") in kinds
+
+    def test_rebase_clears_changes(self, site):
+        detector = ChangeDetector(site.database)
+        site.database.create_index("extra", "R1", "a5")
+        assert detector.detect()
+        detector.rebase()
+        assert detector.detect() == []
+
+    def test_invalid_drift_rejected(self, site):
+        with pytest.raises(ValueError):
+            ChangeDetector(site.database, cardinality_drift=0.0)
+
+    def test_snapshot_capture_contents(self, site):
+        snap = CatalogSnapshot.capture(site.database)
+        assert "R1" in snap.tables
+        assert snap.tables["R3"].clustered_on == "a2"
+        assert ("a1", "nonclustered") in snap.tables["R1"].indexed_columns
+
+
+class TestModelMaintainer:
+    def make_maintainer(self, site, **kwargs):
+        builder = CostModelBuilder(site.database)
+        maintainer = ModelMaintainer(builder, **kwargs)
+        source = lambda n: site.generator.queries_for(G1, n)
+        outcome = maintainer.register(G1, source, sample_count=60)
+        return maintainer, outcome
+
+    def test_initial_build(self, site):
+        maintainer, outcome = self.make_maintainer(site)
+        assert outcome is not None
+        assert maintainer.models["G1"].model.class_label == "G1"
+        assert maintainer.history[0].reasons == ("initial build",)
+
+    def test_nothing_due_when_stable(self, site):
+        maintainer, _ = self.make_maintainer(site)
+        assert maintainer.due() == {}
+        assert maintainer.maintain() == {}
+
+    def test_catalog_change_triggers_rebuild(self, site):
+        maintainer, first = self.make_maintainer(site)
+        site.database.create_index("extra", "R1", "a7")
+        due = maintainer.due()
+        assert "G1" in due
+        rebuilt = maintainer.maintain()
+        assert "G1" in rebuilt
+        assert rebuilt["G1"] is not first
+        # The trigger is consumed: no further rebuilds until new changes.
+        assert maintainer.maintain() == {}
+
+    def test_periodic_rebuild(self, site):
+        maintainer, _ = self.make_maintainer(site, rebuild_period_seconds=1000.0)
+        assert maintainer.maintain() == {}  # just built
+        site.environment.advance(2000.0)
+        rebuilt = maintainer.maintain()
+        assert "G1" in rebuilt
+        assert any("period" in r for r in maintainer.history[-1].reasons)
+
+    def test_register_without_building(self, site):
+        builder = CostModelBuilder(site.database)
+        maintainer = ModelMaintainer(builder)
+        result = maintainer.register(
+            G1, lambda n: site.generator.queries_for(G1, n), 60, build_now=False
+        )
+        assert result is None
+        assert "G1" not in maintainer.models
+        # An unbuilt registration is immediately due (never built).
+        maintainer.rebuild_period_seconds = 10.0
+        assert "G1" in maintainer.due()
+
+    def test_default_sample_count_uses_prop41(self, site):
+        builder = CostModelBuilder(site.database)
+        maintainer = ModelMaintainer(builder)
+        maintainer.register(
+            G1,
+            lambda n: site.generator.queries_for(G1, min(n, 30)),
+            build_now=False,
+        )
+        assert (
+            maintainer._registrations["G1"].sample_count
+            == builder.sample_size(G1)
+        )
+
+    def test_invalid_period_rejected(self, site):
+        builder = CostModelBuilder(site.database)
+        with pytest.raises(ValueError):
+            ModelMaintainer(builder, rebuild_period_seconds=0.0)

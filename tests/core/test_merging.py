@@ -1,0 +1,83 @@
+"""Unit tests for the merging adjustment (Algorithm 3.1 phase 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_qualitative
+from repro.core.merging import (
+    max_relative_difference,
+    merge_adjustment,
+    relative_error,
+)
+from repro.core.partition import uniform_partition
+
+from .synthetic import stepped_sample
+
+
+class TestRelativeError:
+    def test_zero_for_equal(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_zero_for_both_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_normalized_by_larger_magnitude(self):
+        assert relative_error(10.0, 5.0) == pytest.approx(0.5)
+        assert relative_error(5.0, 10.0) == pytest.approx(0.5)
+
+    def test_sign_changes_count(self):
+        assert relative_error(1.0, -1.0) == pytest.approx(2.0)
+
+
+class TestMaxRelativeDifference:
+    def test_picks_worst_variable(self):
+        adjusted = np.array([[1.0, 2.0], [1.0, 4.0]])
+        assert max_relative_difference(adjusted, 0) == pytest.approx(0.5)
+
+    def test_index_validated(self):
+        adjusted = np.array([[1.0], [2.0]])
+        with pytest.raises(IndexError):
+            max_relative_difference(adjusted, 1)
+
+
+class TestMergeAdjustment:
+    def test_over_partitioned_states_get_merged(self):
+        # 2 true states fitted with 4 uniform states: each true band is
+        # split in half, and the halves have identical coefficients.
+        X, y, probing = stepped_sample(true_states=2, n=600, noise=0.01, seed=7)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 4), ("x",))
+        merged, history = merge_adjustment(fit, X, y, probing, threshold=0.2)
+        assert merged.num_states == 2
+        assert history  # at least one merge round happened
+
+    def test_distinct_states_not_merged(self):
+        X, y, probing = stepped_sample(true_states=3, n=600, noise=0.01, seed=8)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 3), ("x",))
+        merged, history = merge_adjustment(fit, X, y, probing, threshold=0.2)
+        assert merged.num_states == 3
+        assert not history
+
+    def test_merge_preserves_fit_quality(self):
+        X, y, probing = stepped_sample(true_states=2, n=600, noise=0.01, seed=9)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 4), ("x",))
+        merged, _ = merge_adjustment(fit, X, y, probing, threshold=0.2)
+        assert merged.r_squared > 0.99
+
+    def test_single_state_is_noop(self):
+        X, y, probing = stepped_sample(true_states=1, n=100, seed=10)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 1), ("x",))
+        merged, history = merge_adjustment(fit, X, y, probing)
+        assert merged.num_states == 1
+        assert not history
+
+    def test_huge_threshold_collapses_everything(self):
+        X, y, probing = stepped_sample(true_states=3, n=600, seed=11)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 3), ("x",))
+        merged, _ = merge_adjustment(fit, X, y, probing, threshold=1e9)
+        assert merged.num_states == 1
+
+    def test_negative_threshold_rejected(self):
+        X, y, probing = stepped_sample(n=100, seed=12)
+        fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x",))
+        with pytest.raises(ValueError):
+            merge_adjustment(fit, X, y, probing, threshold=-0.1)

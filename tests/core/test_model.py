@@ -1,0 +1,112 @@
+"""Unit tests for MultiStateCostModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_qualitative
+from repro.core.model import MultiStateCostModel
+from repro.core.partition import uniform_partition
+from repro.core.qualitative import ModelForm
+
+from .synthetic import stepped_sample
+
+
+@pytest.fixture
+def model():
+    X, y, probing = stepped_sample(true_states=2, n=300, noise=0.01, seed=1)
+    fit = fit_qualitative(X, y, probing, uniform_partition(0.0, 1.0, 2), ("x",))
+    return MultiStateCostModel.from_fit(fit, "G1", "unary", "iupma", note="test")
+
+
+class TestPrediction:
+    def test_predict_uses_probing_cost_for_state(self, model):
+        low = model.predict({"x": 10.0}, probing_cost=0.1)
+        high = model.predict({"x": 10.0}, probing_cost=0.9)
+        # Loaded state: higher intercept and slope.
+        assert high > low
+
+    def test_predict_matches_adjusted_coefficients(self, model):
+        B = model.per_state_coefficients()
+        for state in range(model.num_states):
+            manual = B[state, 0] + B[state, 1] * 25.0
+            assert model.predict_in_state({"x": 25.0}, state) == pytest.approx(manual)
+
+    def test_predict_close_to_ground_truth(self, model):
+        # State 0: y = 1 + 0.5x; state 1: y = 3 + 1.0x.
+        assert model.predict({"x": 40.0}, 0.2) == pytest.approx(21.0, rel=0.05)
+        assert model.predict({"x": 40.0}, 0.8) == pytest.approx(43.0, rel=0.05)
+
+    def test_missing_variable_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.predict({"zz": 1.0}, 0.5)
+
+    def test_state_for_clamps(self, model):
+        assert model.state_for(-10.0) == 0
+        assert model.state_for(10.0) == model.num_states - 1
+
+
+class TestInspection:
+    def test_equation_table_lists_every_state(self, model):
+        text = model.equation_table()
+        for s in range(model.num_states):
+            assert f"s{s}:" in text
+        assert "G1" in text
+
+    def test_training_statistics_present(self, model):
+        assert model.r_squared > 0.99
+        assert model.n_observations == 300
+        assert model.is_significant()
+
+    def test_metadata_carried(self, model):
+        assert model.metadata["note"] == "test"
+
+
+class TestSerialization:
+    def test_round_trip_preserves_predictions(self, model):
+        clone = MultiStateCostModel.from_dict(model.to_dict())
+        for probe in (0.1, 0.5, 0.9):
+            assert clone.predict({"x": 33.0}, probe) == pytest.approx(
+                model.predict({"x": 33.0}, probe)
+            )
+
+    def test_round_trip_preserves_structure(self, model):
+        clone = MultiStateCostModel.from_dict(model.to_dict())
+        assert clone.num_states == model.num_states
+        assert clone.variable_names == model.variable_names
+        assert clone.form is ModelForm.GENERAL
+        assert clone.states.boundaries == model.states.boundaries
+        assert clone.algorithm == model.algorithm
+
+    def test_to_dict_is_json_compatible(self, model):
+        import json
+
+        json.dumps(model.to_dict())  # must not raise
+
+    def test_coefficients_are_numpy_after_load(self, model):
+        clone = MultiStateCostModel.from_dict(model.to_dict())
+        assert isinstance(clone.coefficients, np.ndarray)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x1=st.floats(0, 1000, allow_nan=False),
+    x2=st.floats(0, 1000, allow_nan=False),
+    alpha=st.floats(0, 1),
+    probe=st.floats(0, 1),
+)
+def test_property_prediction_linear_within_state(x1, x2, alpha, probe):
+    """Within a contention state the model is affine: predicting at a
+    convex combination of inputs equals the combination of predictions."""
+    X, y, probing = stepped_sample(true_states=2, n=200, noise=0.01, seed=3)
+    fit = fit_qualitative(X, y, probing, uniform_partition(0.0, 1.0, 2), ("x",))
+    m = MultiStateCostModel.from_fit(fit, "G1", "unary", "iupma")
+    mid = alpha * x1 + (1 - alpha) * x2
+    lhs = m.predict({"x": mid}, probe)
+    rhs = alpha * m.predict({"x": x1}, probe) + (1 - alpha) * m.predict(
+        {"x": x2}, probe
+    )
+    assert lhs == pytest.approx(rhs, rel=1e-6, abs=1e-6)

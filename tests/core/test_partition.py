@@ -1,0 +1,155 @@
+"""Unit and property tests for contention-state partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    ContentionStates,
+    partition_from_intervals,
+    uniform_partition,
+)
+
+
+class TestContentionStates:
+    def test_single_state(self):
+        states = ContentionStates(0.0, 10.0)
+        assert states.num_states == 1
+        assert states.state_of(5.0) == 0
+
+    def test_boundaries_define_states(self):
+        states = ContentionStates(0.0, 10.0, (2.0, 5.0))
+        assert states.num_states == 3
+        assert states.subranges() == [(0.0, 2.0), (2.0, 5.0), (5.0, 10.0)]
+
+    def test_state_of_interior_points(self):
+        states = ContentionStates(0.0, 10.0, (2.0, 5.0))
+        assert states.state_of(1.0) == 0
+        assert states.state_of(3.0) == 1
+        assert states.state_of(7.0) == 2
+
+    def test_boundary_belongs_to_upper_state(self):
+        states = ContentionStates(0.0, 10.0, (2.0,))
+        assert states.state_of(2.0) == 1
+
+    def test_clamping_outside_range(self):
+        states = ContentionStates(1.0, 9.0, (5.0,))
+        assert states.state_of(0.0) == 0
+        assert states.state_of(100.0) == 1
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionStates(0.0, 10.0, (5.0, 2.0))
+
+    def test_duplicate_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionStates(0.0, 10.0, (5.0, 5.0))
+
+    def test_boundary_outside_open_range_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionStates(0.0, 10.0, (0.0,))
+        with pytest.raises(ValueError):
+            ContentionStates(0.0, 10.0, (10.0,))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionStates(5.0, 1.0)
+
+    def test_merge_drops_boundary(self):
+        states = ContentionStates(0.0, 10.0, (2.0, 5.0))
+        merged = states.merge(0)
+        assert merged.boundaries == (5.0,)
+        assert merged.num_states == 2
+
+    def test_merge_last_pair(self):
+        states = ContentionStates(0.0, 10.0, (2.0, 5.0))
+        merged = states.merge(1)
+        assert merged.boundaries == (2.0,)
+
+    def test_merge_out_of_range_rejected(self):
+        states = ContentionStates(0.0, 10.0, (5.0,))
+        with pytest.raises(IndexError):
+            states.merge(1)
+
+    def test_assign_vectorized(self):
+        states = ContentionStates(0.0, 10.0, (5.0,))
+        assert states.assign([1.0, 6.0, 4.9]) == [0, 1, 0]
+
+    def test_describe_lists_all_states(self):
+        states = ContentionStates(0.0, 10.0, (5.0,))
+        text = states.describe()
+        assert "s0" in text and "s1" in text
+
+    def test_subrange_index_checked(self):
+        with pytest.raises(IndexError):
+            ContentionStates(0.0, 1.0).subrange(1)
+
+
+class TestUniformPartition:
+    def test_equal_widths(self):
+        states = uniform_partition(0.0, 12.0, 4)
+        widths = [hi - lo for lo, hi in states.subranges()]
+        assert widths == pytest.approx([3.0] * 4)
+
+    def test_single_state_no_boundaries(self):
+        assert uniform_partition(0.0, 12.0, 1).boundaries == ()
+
+    def test_degenerate_range_single_state(self):
+        assert uniform_partition(5.0, 5.0, 4).num_states == 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_partition(0.0, 1.0, 0)
+
+
+class TestPartitionFromIntervals:
+    def test_boundaries_at_gap_midpoints(self):
+        states = partition_from_intervals([(0.0, 2.0), (4.0, 6.0)])
+        assert states.boundaries == (3.0,)
+        assert states.cmin == 0.0
+        assert states.cmax == 6.0
+
+    def test_explicit_outer_range(self):
+        states = partition_from_intervals([(1.0, 2.0), (4.0, 5.0)], cmin=0.0, cmax=10.0)
+        assert states.cmin == 0.0
+        assert states.cmax == 10.0
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            partition_from_intervals([(0.0, 3.0), (2.0, 5.0)])
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            partition_from_intervals([(3.0, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            partition_from_intervals([])
+
+    def test_unsorted_input_accepted(self):
+        states = partition_from_intervals([(4.0, 6.0), (0.0, 2.0)])
+        assert states.boundaries == (3.0,)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cmin=st.floats(-100, 100, allow_nan=False),
+    width=st.floats(0.1, 100),
+    m=st.integers(1, 10),
+    probes=st.lists(st.floats(-200, 300, allow_nan=False), max_size=30),
+)
+def test_property_partition_covers_and_is_disjoint(cmin, width, m, probes):
+    """Every probing cost maps to exactly one state; subranges tile the range."""
+    states = uniform_partition(cmin, cmin + width, m)
+    subranges = states.subranges()
+    # Tiling: consecutive subranges share exactly their boundary.
+    for (_, hi), (lo, _) in zip(subranges, subranges[1:]):
+        assert hi == lo
+    assert subranges[0][0] == states.cmin
+    assert subranges[-1][1] == states.cmax
+    for probe in probes:
+        s = states.state_of(probe)
+        assert 0 <= s < states.num_states
+        lo, hi = states.subrange(s)
+        clamped = min(max(probe, states.cmin), states.cmax)
+        assert lo - 1e-9 <= clamped <= hi + 1e-9

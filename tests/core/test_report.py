@@ -1,0 +1,47 @@
+"""Unit tests for the derivation report."""
+
+from repro.core.classification import G1
+from repro.core.report import derivation_report
+
+
+class TestDerivationReport:
+    def test_covers_every_section(self, session_g1_build):
+        _, outcome = session_g1_build
+        text = derivation_report(outcome)
+        assert "Contention states" in text
+        assert "Variable selection" in text
+        assert "Fitted model" in text
+        assert "phase 1" in text
+        assert outcome.model.class_label in text
+
+    def test_lists_every_state_with_counts(self, session_g1_build):
+        _, outcome = session_g1_build
+        text = derivation_report(outcome)
+        for i in range(outcome.model.num_states):
+            assert f"s{i}: [" in text
+        # Counts sum to the training-sample size across the state lines.
+        import re
+
+        counts = [
+            int(m) for m in re.findall(r"\((\d+) training observations\)", text)
+        ]
+        assert sum(counts) == len(outcome.observations)
+
+    def test_selection_steps_rendered(self, session_g1_build):
+        _, outcome = session_g1_build
+        text = derivation_report(outcome)
+        for step in outcome.selection.steps:
+            assert step.variable in text
+
+    def test_validation_section_when_test_given(self, session_g1_build):
+        builder, outcome = session_g1_build
+        test = outcome.observations[:20]
+        text = derivation_report(outcome, test_observations=test)
+        assert "held-out queries" in text
+        assert "very good" in text
+
+    def test_static_outcome_notes_single_state(self, session_g1_build):
+        builder, outcome = session_g1_build
+        static = builder.build_from_observations(outcome.observations, G1, "static")
+        text = derivation_report(static)
+        assert "single state by construction" in text

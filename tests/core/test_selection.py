@@ -1,0 +1,137 @@
+"""Unit tests for the mixed backward/forward variable selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import uniform_partition
+from repro.core.selection import SelectionConfig, select_variables
+
+
+def build_columns(n=400, seed=0):
+    """Synthetic sample: cost = per-state(intercept + a*x1 + b*x2) with a
+    genuinely useful secondary variable s1, a useless noise variable, and
+    a duplicate (collinear) variable."""
+    rng = np.random.default_rng(seed)
+    probing = rng.uniform(0, 1, n)
+    band = (probing >= 0.5).astype(float)
+    x1 = rng.uniform(0, 100, n)
+    x2 = rng.uniform(0, 50, n)
+    s1 = rng.uniform(0, 20, n)
+    noise_var = rng.uniform(0, 9, n)  # unrelated to y
+    dup = 3.0 * x1  # perfectly collinear with x1
+    y = (
+        (1 + 2 * band)
+        + (0.5 + band) * x1
+        + (0.2 + 0.1 * band) * x2
+        + 0.8 * s1
+        + rng.normal(0, 0.3, n)
+    )
+    columns = {
+        "x1": x1,
+        "x2": x2,
+        "dup": dup,
+        "noise": noise_var,
+        "s1": s1,
+        "const": np.full(n, 7.0),
+    }
+    return columns, y, probing
+
+
+@pytest.fixture
+def data():
+    return build_columns()
+
+
+STATES = uniform_partition(0.0, 1.0, 2)
+
+
+class TestScreening:
+    def test_constant_variable_screened_out(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2", "const"), (), STATES
+        )
+        assert "const" not in result.variables
+        assert any(s.action == "screen" and s.variable == "const" for s in result.steps)
+
+    def test_collinear_duplicate_dropped_by_vif(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "dup", "x2"), (), STATES
+        )
+        kept = set(result.variables)
+        assert not {"x1", "dup"} <= kept  # at most one survives
+        assert any(s.action == "vif" for s in result.steps)
+
+
+class TestBackward:
+    def test_noise_variable_removed(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2", "noise"), (), STATES
+        )
+        assert "noise" not in result.variables
+        assert {"x1", "x2"} <= set(result.variables)
+
+    def test_informative_variables_kept(self, data):
+        columns, y, probing = data
+        result = select_variables(columns, y, probing, ("x1", "x2"), (), STATES)
+        assert set(result.variables) == {"x1", "x2"}
+
+    def test_never_empties_the_model(self, data):
+        columns, y, probing = data
+        result = select_variables(columns, y, probing, ("noise",), (), STATES)
+        assert len(result.variables) == 1
+
+
+class TestForward:
+    def test_useful_secondary_added(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2"), ("s1", "noise"), STATES
+        )
+        assert "s1" in result.variables
+        assert "noise" not in result.variables
+
+    def test_collinear_secondary_skipped(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2"), ("dup", "s1"), STATES
+        )
+        assert "dup" not in result.variables
+        assert "s1" in result.variables
+
+    def test_forward_improves_see(self, data):
+        columns, y, probing = data
+        without = select_variables(columns, y, probing, ("x1", "x2"), (), STATES)
+        with_s1 = select_variables(
+            columns, y, probing, ("x1", "x2"), ("s1",), STATES
+        )
+        assert with_s1.fit.standard_error < without.fit.standard_error
+
+
+class TestResultShape:
+    def test_fit_uses_selected_variables(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2", "noise"), ("s1",), STATES
+        )
+        assert result.fit.variable_names == result.variables
+
+    def test_steps_have_details(self, data):
+        columns, y, probing = data
+        result = select_variables(
+            columns, y, probing, ("x1", "x2", "noise"), ("s1",), STATES
+        )
+        for step in result.steps:
+            assert step.action in ("screen", "vif", "remove", "add", "keep")
+            assert step.detail
+
+    def test_custom_config_respected(self, data):
+        columns, y, probing = data
+        # An enormous forward gain requirement blocks every addition.
+        config = SelectionConfig(forward_gain=0.99)
+        result = select_variables(
+            columns, y, probing, ("x1", "x2"), ("s1",), STATES, config=config
+        )
+        assert "s1" not in result.variables

@@ -1,0 +1,37 @@
+"""Unit tests for the static query sampling baseline."""
+
+from repro.core.classification import G1
+from repro.core.sampling import minimum_observations
+from repro.core.static_method import StaticQuerySampling, derive_static_cost_model
+
+
+class TestStaticQuerySampling:
+    def test_build_gives_one_state(self, session_site):
+        sampler = StaticQuerySampling(session_site.database)
+        queries = session_site.generator.queries_for(G1, 80)
+        outcome = sampler.build(G1, queries)
+        assert outcome.model.num_states == 1
+        assert outcome.model.algorithm == "static"
+
+    def test_sample_size_uses_m_equals_one(self, session_site):
+        sampler = StaticQuerySampling(session_site.database)
+        expected = minimum_observations(
+            len(G1.variables.basic) + sampler.builder.config.secondary_allowance, 1
+        )
+        assert sampler.sample_size(G1) == expected
+
+    def test_wrapper_matches_builder_function(self, session_g1_build):
+        builder, outcome = session_g1_build
+        direct = derive_static_cost_model(outcome.observations, G1, builder)
+        sampler = StaticQuerySampling(builder.database)
+        wrapped = sampler.build_from_observations(outcome.observations, G1)
+        assert direct.model.num_states == wrapped.model.num_states == 1
+        assert direct.model.variable_names == wrapped.model.variable_names
+
+    def test_static_special_case_of_multistates(self, session_g1_build):
+        """§1: the static method is the m = 1 multi-states special case."""
+        builder, outcome = session_g1_build
+        static = derive_static_cost_model(outcome.observations, G1, builder)
+        # Same design machinery: one state means no indicator columns.
+        assert static.model.term_names[0] == "b0"
+        assert all(":" not in name for name in static.model.term_names)

@@ -1,0 +1,113 @@
+"""Unit tests for explanatory-variable sets and observation extraction."""
+
+import pytest
+
+from repro.core.variables import (
+    JOIN_VARIABLES,
+    Observation,
+    UNARY_VARIABLES,
+    check_observations,
+    extract_variables,
+    observation_from_result,
+    probing_costs,
+    responses,
+    values_matrix,
+    variables_for,
+)
+from repro.engine.predicate import Comparison
+from repro.engine.query import JoinQuery, SelectQuery
+
+
+class TestVariableSets:
+    def test_unary_matches_paper_table3(self):
+        assert UNARY_VARIABLES.basic == ("no", "ni", "nr")
+        assert set(UNARY_VARIABLES.secondary) == {"lo", "lr", "tlo", "tlr"}
+
+    def test_join_matches_paper_table3(self):
+        assert set(JOIN_VARIABLES.basic) == {"n1", "n2", "ni1", "ni2", "nr", "nixni"}
+        assert len(JOIN_VARIABLES.secondary) == 6
+
+    def test_membership(self):
+        assert "no" in UNARY_VARIABLES
+        assert "nixni" in JOIN_VARIABLES
+        assert "zz" not in UNARY_VARIABLES
+
+    def test_variables_for_query_shape(self):
+        assert variables_for(SelectQuery("t")) is UNARY_VARIABLES
+        assert variables_for(JoinQuery("a", "b", "x", "y")) is JOIN_VARIABLES
+        with pytest.raises(TypeError):
+            variables_for("select * from t")
+
+
+class TestExtraction:
+    def test_unary_extraction(self, small_database):
+        result = small_database.execute(
+            SelectQuery("t1", ("a", "b"), Comparison("a", "<", 200))
+        )
+        values = extract_variables(result)
+        table = small_database.catalog.table("t1")
+        assert values["no"] == table.cardinality
+        assert values["nr"] == result.result.cardinality
+        assert values["lo"] == table.tuple_length
+        assert values["lr"] == table.schema.projected_tuple_length(("a", "b"))
+        assert values["tlo"] == values["no"] * values["lo"]
+        assert values["tlr"] == values["nr"] * values["lr"]
+        # Index scan on a: the intermediate is the index-range subset.
+        assert values["ni"] == result.infos[0].intermediate_cardinality
+
+    def test_join_extraction(self, small_database):
+        query = JoinQuery(
+            "t1", "t2", "c", "c", ("t1.a", "t2.b"), Comparison("b", "<", 50)
+        )
+        result = small_database.execute(query)
+        values = extract_variables(result)
+        assert values["n1"] == small_database.catalog.table("t1").cardinality
+        assert values["n2"] == small_database.catalog.table("t2").cardinality
+        assert values["nixni"] == values["ni1"] * values["ni2"]
+        assert values["nr"] == result.result.cardinality
+        assert values["lr"] == result.result.tuple_length
+
+    def test_observation_from_result(self, small_database):
+        result = small_database.execute(SelectQuery("t1", ("a",)))
+        obs = observation_from_result(result, probing_cost=0.5, plan=result.plan)
+        assert obs.cost == result.elapsed
+        assert obs.probing_cost == 0.5
+        assert obs.metadata["plan"] == result.plan
+        assert obs.contention_level == result.contention_level
+
+
+class TestObservationHelpers:
+    def make_obs(self, cost=1.0, probing=0.1, **values):
+        return Observation(cost=cost, probing_cost=probing, values=values)
+
+    def test_vector_order(self):
+        obs = self.make_obs(no=1.0, nr=2.0)
+        assert obs.vector(("nr", "no")) == [2.0, 1.0]
+
+    def test_vector_missing_variable(self):
+        with pytest.raises(KeyError):
+            self.make_obs(no=1.0).vector(("nr",))
+
+    def test_matrix_and_responses(self):
+        observations = [self.make_obs(cost=float(i), no=float(i)) for i in range(3)]
+        assert values_matrix(observations, ("no",)) == [[0.0], [1.0], [2.0]]
+        assert responses(observations) == [0.0, 1.0, 2.0]
+        assert probing_costs(observations) == [0.1, 0.1, 0.1]
+
+    def test_check_observations_passes(self):
+        check_observations([self.make_obs(no=1.0)], ("no",))
+
+    def test_check_observations_missing_variable(self):
+        with pytest.raises(ValueError):
+            check_observations([self.make_obs(no=1.0)], ("no", "nr"))
+
+    def test_check_observations_negative_cost(self):
+        with pytest.raises(ValueError):
+            check_observations([self.make_obs(cost=-1.0, no=1.0)], ("no",))
+
+    def test_check_observations_nan_probing(self):
+        with pytest.raises(ValueError):
+            check_observations(
+                [Observation(cost=1.0, probing_cost=float("nan"), values={"no": 1.0})],
+                ("no",),
+            )

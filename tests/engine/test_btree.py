@@ -1,0 +1,122 @@
+"""Unit and property tests for the B+-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.num_keys == 0
+        assert tree.height == 1
+        assert tree.search(5) == []
+
+    def test_single_insert(self):
+        tree = BPlusTree()
+        tree.insert(10, 0)
+        assert tree.search(10) == [0]
+        assert len(tree) == 1
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        for rid in range(5):
+            tree.insert(7, rid)
+        assert tree.search(7) == [0, 1, 2, 3, 4]
+        assert tree.num_keys == 1
+        assert len(tree) == 5
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_height_grows_with_inserts(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [5, 3, 8, 1, 9, 2, 7, 0, 6, 4]
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree(self):
+        t = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            t.insert(i, i)
+        return t
+
+    def test_closed_range(self, tree):
+        assert tree.range_search(10, 20) == [10, 12, 14, 16, 18, 20]
+
+    def test_open_low(self, tree):
+        assert tree.range_search(10, 16, low_inclusive=False) == [12, 14, 16]
+
+    def test_open_high(self, tree):
+        assert tree.range_search(10, 16, high_inclusive=False) == [10, 12, 14]
+
+    def test_unbounded_low(self, tree):
+        assert tree.range_search(None, 6) == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, tree):
+        assert tree.range_search(94, None) == [94, 96, 98]
+
+    def test_full_range(self, tree):
+        assert tree.range_search() == list(range(0, 100, 2))
+
+    def test_empty_range(self, tree):
+        assert tree.range_search(11, 11) == []
+
+    def test_range_below_everything(self, tree):
+        assert tree.range_search(-10, -1) == []
+
+    def test_range_above_everything(self, tree):
+        assert tree.range_search(200, 300) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(st.integers(-1000, 1000), min_size=0, max_size=300),
+    order=st.integers(3, 16),
+)
+def test_property_tree_matches_sorted_reference(keys, order):
+    """Invariants + search/range agreement with a sorted reference."""
+    tree = BPlusTree(order=order)
+    for rid, key in enumerate(keys):
+        tree.insert(key, rid)
+    tree.check_invariants()
+    assert len(tree) == len(keys)
+    assert tree.num_keys == len(set(keys))
+
+    # Full iteration matches the multiset, sorted by key then insert order.
+    expected = sorted(((k, i) for i, k in enumerate(keys)), key=lambda p: (p[0], p[1]))
+    assert list(tree.items()) == expected
+
+    if keys:
+        lo, hi = np.percentile(keys, [25, 75])
+        lo, hi = int(lo), int(hi)
+        got = tree.range_search(lo, hi)
+        want = [i for k, i in expected if lo <= k <= hi]
+        assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_property_point_lookup(keys):
+    tree = BPlusTree(order=5)
+    for rid, key in enumerate(keys):
+        tree.insert(key, rid)
+    for probe in set(keys):
+        assert tree.search(probe) == [i for i, k in enumerate(keys) if k == probe]
+    assert tree.search(max(keys) + 1) == []

@@ -1,0 +1,87 @@
+"""Unit tests for the local catalog."""
+
+import pytest
+
+from repro.engine.catalog import LocalCatalog
+from repro.engine.errors import CatalogError
+from repro.engine.index import Index, IndexKind
+
+from ..conftest import make_test_table
+
+
+@pytest.fixture
+def catalog():
+    cat = LocalCatalog()
+    cat.add_table(make_test_table("t1", rows=50))
+    cat.add_table(make_test_table("t2", rows=50))
+    return cat
+
+
+class TestTables:
+    def test_lookup(self, catalog):
+        assert catalog.table("t1").name == "t1"
+        assert catalog.has_table("t2")
+        assert not catalog.has_table("t3")
+
+    def test_table_names_sorted(self, catalog):
+        assert catalog.table_names == ["t1", "t2"]
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_table(make_test_table("t1", rows=1))
+
+    def test_missing_lookup_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("nope")
+
+    def test_drop_table(self, catalog):
+        catalog.drop_table("t1")
+        assert not catalog.has_table("t1")
+
+    def test_drop_missing_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_table("nope")
+
+    def test_drop_table_removes_its_indexes(self, catalog):
+        index = Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED)
+        catalog.add_index(index)
+        catalog.drop_table("t1")
+        with pytest.raises(CatalogError):
+            catalog.index("i1")
+
+
+class TestIndexes:
+    def test_add_and_lookup(self, catalog):
+        index = Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED)
+        catalog.add_index(index)
+        assert catalog.index("i1") is index
+
+    def test_duplicate_index_rejected(self, catalog):
+        index = Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED)
+        catalog.add_index(index)
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("i1", catalog.table("t2"), "a", IndexKind.NONCLUSTERED))
+
+    def test_indexes_for_filters_by_table(self, catalog):
+        i1 = Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED)
+        i2 = Index("i2", catalog.table("t2"), "b", IndexKind.NONCLUSTERED)
+        catalog.add_index(i1)
+        catalog.add_index(i2)
+        assert catalog.indexes_for("t1") == [i1]
+        assert catalog.indexes_for("t2") == [i2]
+
+    def test_index_on(self, catalog):
+        i1 = Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED)
+        catalog.add_index(i1)
+        assert catalog.index_on("t1", "a") is i1
+        assert catalog.index_on("t1", "b") is None
+
+    def test_drop_index(self, catalog):
+        catalog.add_index(Index("i1", catalog.table("t1"), "a", IndexKind.NONCLUSTERED))
+        catalog.drop_index("i1")
+        assert catalog.index_on("t1", "a") is None
+
+    def test_index_for_unknown_table_rejected(self, catalog):
+        foreign = make_test_table("t9", rows=5)
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("i9", foreign, "a", IndexKind.NONCLUSTERED))

@@ -1,0 +1,59 @@
+"""Unit tests for repro.engine.pages."""
+
+import pytest
+
+from repro.engine.pages import DEFAULT_PAGE_SIZE, ROW_OVERHEAD, PageLayout
+
+
+class TestRowsPerPage:
+    def test_small_tuples_pack_many(self):
+        layout = PageLayout()
+        assert layout.rows_per_page(8) == DEFAULT_PAGE_SIZE // (8 + ROW_OVERHEAD)
+
+    def test_huge_tuple_still_one_per_page(self):
+        layout = PageLayout(page_size=100)
+        assert layout.rows_per_page(10_000) == 1
+
+    def test_zero_tuple_length_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout().rows_per_page(0)
+
+
+class TestPagesFor:
+    def test_empty_table_has_no_pages(self):
+        assert PageLayout().pages_for(0, 100) == 0
+
+    def test_exact_fit(self):
+        layout = PageLayout(page_size=100)
+        rpp = layout.rows_per_page(12)  # 100 // 20 = 5
+        assert layout.pages_for(rpp * 3, 12) == 3
+
+    def test_partial_page_rounds_up(self):
+        layout = PageLayout(page_size=100)
+        rpp = layout.rows_per_page(12)
+        assert layout.pages_for(rpp * 3 + 1, 12) == 4
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout().pages_for(-1, 8)
+
+
+class TestPagesForFraction:
+    def test_zero_fraction_zero_pages(self):
+        assert PageLayout().pages_for_fraction(1000, 8, 0.0) == 0
+
+    def test_full_fraction_is_all_pages(self):
+        layout = PageLayout()
+        assert layout.pages_for_fraction(1000, 8, 1.0) == layout.pages_for(1000, 8)
+
+    def test_tiny_fraction_at_least_one_page(self):
+        assert PageLayout().pages_for_fraction(1000, 8, 1e-9) == 1
+
+    def test_fraction_monotone(self):
+        layout = PageLayout()
+        pages = [layout.pages_for_fraction(100_000, 32, f / 10) for f in range(11)]
+        assert pages == sorted(pages)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout().pages_for_fraction(10, 8, 1.5)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.engine.query."""
+
+import pytest
+
+from repro.engine.errors import QueryError
+from repro.engine.predicate import Comparison, TruePredicate
+from repro.engine.query import JoinQuery, SelectQuery
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DataType
+
+T1 = TableSchema("t1", [Column("a", DataType.INT), Column("b", DataType.INT)])
+T2 = TableSchema("t2", [Column("x", DataType.INT), Column("y", DataType.STR)])
+
+
+class TestSelectQuery:
+    def test_default_predicate_is_true(self):
+        q = SelectQuery("t1")
+        assert isinstance(q.predicate, TruePredicate)
+
+    def test_star_expands_all_columns(self):
+        assert SelectQuery("t1").output_columns(T1) == ("a", "b")
+
+    def test_explicit_projection(self):
+        assert SelectQuery("t1", ("b",)).output_columns(T1) == ("b",)
+
+    def test_validate_ok(self):
+        SelectQuery("t1", ("a",), Comparison("b", ">", 1)).validate(T1)
+
+    def test_validate_wrong_table(self):
+        with pytest.raises(QueryError):
+            SelectQuery("t2", ("a",)).validate(T1)
+
+    def test_validate_unknown_projection_column(self):
+        with pytest.raises(QueryError):
+            SelectQuery("t1", ("zz",)).validate(T1)
+
+    def test_validate_unknown_predicate_column(self):
+        with pytest.raises(QueryError):
+            SelectQuery("t1", ("a",), Comparison("zz", "=", 1)).validate(T1)
+
+    def test_str_rendering(self):
+        q = SelectQuery("t1", ("a",), Comparison("b", ">", 1))
+        assert str(q) == "SELECT a FROM t1 WHERE b > 1"
+        assert str(SelectQuery("t1")) == "SELECT * FROM t1"
+
+
+class TestJoinQuery:
+    def make(self, **kwargs):
+        defaults = dict(
+            left="t1", right="t2", left_column="a", right_column="x"
+        )
+        defaults.update(kwargs)
+        return JoinQuery(**defaults)
+
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery("t1", "t1", "a", "a")
+
+    def test_default_output_columns_qualified(self):
+        q = self.make()
+        assert q.output_columns(T1, T2) == ("t1.a", "t1.b", "t2.x", "t2.y")
+
+    def test_explicit_output_columns(self):
+        q = self.make(columns=("t2.x", "t1.b"))
+        assert q.output_columns(T1, T2) == ("t2.x", "t1.b")
+
+    def test_validate_ok(self):
+        self.make(
+            left_predicate=Comparison("b", ">", 0),
+            right_predicate=Comparison("x", "<", 9),
+        ).validate(T1, T2)
+
+    def test_validate_unknown_join_column(self):
+        with pytest.raises(QueryError):
+            self.make(left_column="zz").validate(T1, T2)
+
+    def test_validate_incomparable_join_types(self):
+        with pytest.raises(QueryError):
+            self.make(right_column="y").validate(T1, T2)
+
+    def test_validate_unqualified_output_column(self):
+        with pytest.raises(QueryError):
+            self.make(columns=("a",)).validate(T1, T2)
+
+    def test_validate_output_column_of_unjoined_table(self):
+        with pytest.raises(QueryError):
+            self.make(columns=("t3.a",)).validate(T1, T2)
+
+    def test_validate_predicate_on_wrong_table(self):
+        with pytest.raises(QueryError):
+            self.make(left_predicate=Comparison("x", "=", 1)).validate(T1, T2)
+
+    def test_str_rendering(self):
+        q = self.make(columns=("t1.a",), left_predicate=Comparison("b", ">", 1))
+        text = str(q)
+        assert "JOIN t2 ON t1.a = t2.x" in text
+        assert "WHERE" in text

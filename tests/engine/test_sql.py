@@ -1,0 +1,168 @@
+"""Unit tests for the SQL front end."""
+
+import pytest
+
+from repro.engine.errors import SQLSyntaxError
+from repro.engine.predicate import And, Comparison, Not, Or, TruePredicate
+from repro.engine.query import JoinQuery, SelectQuery
+from repro.engine.schema import Column, TableSchema
+from repro.engine.sql import parse_query, tokenize
+from repro.engine.types import DataType
+
+SCHEMAS = {
+    "r": TableSchema("r", [Column("a", DataType.INT), Column("b", DataType.INT)]),
+    "s": TableSchema("s", [Column("b", DataType.INT), Column("c", DataType.INT)]),
+}
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("select a from t where a >= 1.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "name", "keyword", "name", "keyword", "name", "op", "float"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("a = 'it''s'")
+        assert tokens[-1].kind == "string"
+
+    def test_junk_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @ from t")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT A FROM T")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "A"  # identifiers keep their case
+
+
+class TestUnaryParsing:
+    def test_select_star(self):
+        q = parse_query("select * from r")
+        assert isinstance(q, SelectQuery)
+        assert q.columns == ()
+        assert isinstance(q.predicate, TruePredicate)
+
+    def test_projection_list(self):
+        q = parse_query("select a, b from r")
+        assert q.columns == ("a", "b")
+
+    def test_simple_where(self):
+        q = parse_query("select a from r where b > 10")
+        assert q.predicate == Comparison("b", ">", 10)
+
+    def test_and_or_precedence(self):
+        q = parse_query("select a from r where a = 1 or a = 2 and b = 3")
+        # AND binds tighter than OR.
+        assert isinstance(q.predicate, Or)
+        assert isinstance(q.predicate.right, And)
+
+    def test_parentheses_override(self):
+        q = parse_query("select a from r where (a = 1 or a = 2) and b = 3")
+        assert isinstance(q.predicate, And)
+        assert isinstance(q.predicate.left, Or)
+
+    def test_not(self):
+        q = parse_query("select a from r where not a = 1")
+        assert isinstance(q.predicate, Not)
+
+    def test_neq_spellings(self):
+        q1 = parse_query("select a from r where a != 1")
+        q2 = parse_query("select a from r where a <> 1")
+        assert q1.predicate == q2.predicate == Comparison("a", "!=", 1)
+
+    def test_literal_types(self):
+        q = parse_query("select a from r where a <= 2.5 and b = 3 and a != 'x'")
+        comparisons = []
+
+        def walk(p):
+            if isinstance(p, Comparison):
+                comparisons.append(p.value)
+            elif isinstance(p, And):
+                walk(p.left)
+                walk(p.right)
+
+        walk(q.predicate)
+        assert comparisons == [2.5, 3, "x"]
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select a from r extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select a r")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select a from r where a >")
+
+    def test_wrong_qualifier_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select s.a from r")
+
+
+class TestJoinParsing:
+    def test_basic_join(self):
+        q = parse_query("select r.a, s.c from r join s on r.b = s.b", SCHEMAS)
+        assert isinstance(q, JoinQuery)
+        assert (q.left, q.right) == ("r", "s")
+        assert (q.left_column, q.right_column) == ("b", "b")
+        assert q.columns == ("r.a", "s.c")
+
+    def test_join_condition_reversed_normalizes(self):
+        q = parse_query("select r.a from r join s on s.b = r.b", SCHEMAS)
+        assert (q.left_column, q.right_column) == ("b", "b")
+
+    def test_where_split_per_table(self):
+        q = parse_query(
+            "select r.a from r join s on r.b = s.b where a > 1 and c < 5", SCHEMAS
+        )
+        assert q.left_predicate == Comparison("a", ">", 1)
+        assert q.right_predicate == Comparison("c", "<", 5)
+
+    def test_ambiguous_column_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select r.a from r join s on r.b = s.b where b > 1", SCHEMAS)
+
+    def test_qualified_where_disambiguates(self):
+        q = parse_query(
+            "select r.a from r join s on r.b = s.b where s.b > 1", SCHEMAS
+        )
+        assert q.right_predicate == Comparison("b", ">", 1)
+
+    def test_cross_table_or_term_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "select r.a from r join s on r.b = s.b where a > 1 or c < 5",
+                SCHEMAS,
+            )
+
+    def test_non_equality_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select r.a from r join s on r.b < s.b", SCHEMAS)
+
+    def test_join_condition_same_table_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select r.a from r join s on r.a = r.b", SCHEMAS)
+
+    def test_unresolvable_without_schemas(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select a from r join s on b = c")
+
+    def test_select_star_join(self):
+        q = parse_query("select * from r join s on r.b = s.b", SCHEMAS)
+        assert q.columns == ()
+
+
+class TestNegativeLiterals:
+    def test_negative_int(self):
+        q = parse_query("select a from r where a >= -5")
+        assert q.predicate == Comparison("a", ">=", -5)
+
+    def test_negative_float(self):
+        q = parse_query("select a from r where a < -2.5")
+        assert q.predicate == Comparison("a", "<", -2.5)
+
+    def test_negated_string_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("select a from r where a = -'x'")

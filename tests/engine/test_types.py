@@ -1,0 +1,70 @@
+"""Unit tests for repro.engine.types."""
+
+import pytest
+
+from repro.engine.errors import TypeError_
+from repro.engine.types import DataType
+
+
+class TestDataTypeValidation:
+    def test_int_accepts_int(self):
+        assert DataType.INT.validate(42) == 42
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeError_):
+            DataType.INT.validate(4.2)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            DataType.INT.validate(True)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeError_):
+            DataType.INT.validate("42")
+
+    def test_float_accepts_float(self):
+        assert DataType.FLOAT.validate(3.5) == 3.5
+
+    def test_float_widens_int(self):
+        value = DataType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            DataType.FLOAT.validate(False)
+
+    def test_str_accepts_str(self):
+        assert DataType.STR.validate("abc") == "abc"
+
+    def test_str_rejects_int(self):
+        with pytest.raises(TypeError_):
+            DataType.STR.validate(7)
+
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_none_rejected_everywhere(self, dtype):
+        with pytest.raises(TypeError_):
+            dtype.validate(None)
+
+
+class TestDataTypeProperties:
+    def test_python_types(self):
+        assert DataType.INT.python_type is int
+        assert DataType.FLOAT.python_type is float
+        assert DataType.STR.python_type is str
+
+    def test_default_widths_positive(self):
+        for dtype in DataType:
+            assert dtype.default_width > 0
+
+    def test_numeric_types_comparable(self):
+        assert DataType.INT.is_comparable_with(DataType.FLOAT)
+        assert DataType.FLOAT.is_comparable_with(DataType.INT)
+
+    def test_same_type_comparable(self):
+        for dtype in DataType:
+            assert dtype.is_comparable_with(dtype)
+
+    def test_str_not_comparable_with_numeric(self):
+        assert not DataType.STR.is_comparable_with(DataType.INT)
+        assert not DataType.INT.is_comparable_with(DataType.STR)

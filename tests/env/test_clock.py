@@ -1,0 +1,40 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.env.clock import SimulationClock
+
+
+def test_starts_at_zero():
+    assert SimulationClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimulationClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimulationClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimulationClock()
+    clock.advance(2.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(3.0)
+
+
+def test_advance_returns_new_time():
+    assert SimulationClock().advance(1.0) == 1.0
+
+
+def test_backwards_advance_rejected():
+    with pytest.raises(ValueError):
+        SimulationClock().advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = SimulationClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0

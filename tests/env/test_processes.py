@@ -1,0 +1,108 @@
+"""Unit tests for the simulated process table."""
+
+import pytest
+
+from repro.env.contention import level_to_processes
+from repro.env.processes import (
+    RUNNING,
+    SLEEPING,
+    STOPPED,
+    ZOMBIE,
+    ProcessTable,
+    SimProcess,
+)
+from repro.env.stats import MachineSpec, StatisticsModel
+
+
+class TestSimProcess:
+    def test_valid_states_only(self):
+        with pytest.raises(ValueError):
+            SimProcess(1, "x", "Q", 0.0, 0.0)
+
+    def test_non_negative_resources(self):
+        with pytest.raises(ValueError):
+            SimProcess(1, "x", RUNNING, -1.0, 0.0)
+
+
+class TestSnapshot:
+    @pytest.fixture
+    def table(self):
+        return ProcessTable(seed=5)
+
+    def test_total_count_tracks_level(self, table):
+        low = table.snapshot(0.1)
+        high = table.snapshot(0.9)
+        assert len(high) > len(low)
+        spec = MachineSpec()
+        assert len(high) == spec.base_sleeping_processes + level_to_processes(0.9)
+
+    def test_counts_partition_the_population(self, table):
+        counts = table.counts(0.6)
+        assert sum(counts.values()) == len(table.snapshot(0.6))
+        assert counts[RUNNING] >= 1
+        assert counts[SLEEPING] >= 0
+
+    def test_cpu_shares_sum_to_busy_fraction(self, table):
+        processes = table.snapshot(0.5)
+        total_cpu = sum(p.cpu_pct for p in processes)
+        # StatisticsModel's noiseless busy% at level 0.5 is 8 + 88*0.5.
+        assert total_cpu == pytest.approx(8.0 + 88.0 * 0.5, rel=0.01)
+
+    def test_only_running_processes_burn_cpu(self, table):
+        for process in table.snapshot(0.7):
+            if process.state != RUNNING:
+                assert process.cpu_pct == 0.0
+
+    def test_memory_sums_to_used_memory(self, table):
+        spec = MachineSpec()
+        processes = table.snapshot(0.4)
+        total_mem = sum(p.memory_mb for p in processes)
+        expected = spec.total_memory_mb * (0.25 + 0.70 * 0.4)
+        # The last share is reused for trailing states; allow slack.
+        assert total_mem == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic_within_epoch(self, table):
+        a = table.snapshot(0.5, at_time=10.0)
+        b = table.snapshot(0.5, at_time=20.0)  # same 30 s epoch
+        assert a == b
+
+    def test_changes_across_epochs(self, table):
+        a = table.snapshot(0.5, at_time=0.0)
+        b = table.snapshot(0.5, at_time=100.0)
+        assert a != b
+
+    def test_invalid_level_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.snapshot(1.5)
+
+    def test_counts_consistent_with_statistics_model(self, table):
+        """The process table and the aggregate statistics agree on the
+        running-process count formula (both noiseless)."""
+        stats = StatisticsModel(noise=0.0)
+        for level in (0.2, 0.5, 0.8):
+            counts = table.counts(level)
+            snap = stats.snapshot(level)
+            assert counts[RUNNING] == snap.running_processes
+
+    def test_zombies_appear_under_load(self, table):
+        assert table.counts(0.0)[ZOMBIE] == 0
+        assert table.counts(1.0)[ZOMBIE] >= 1
+        assert table.counts(1.0)[STOPPED] >= 1
+
+
+class TestTopRendering:
+    def test_header_and_rows(self):
+        table = ProcessTable(seed=1)
+        text = table.top(0.6, n=5)
+        lines = text.splitlines()
+        assert "running" in lines[0]
+        assert "PID" in lines[1]
+        assert len(lines) == 7  # header + columns + 5 rows
+
+    def test_sorted_by_cpu(self):
+        table = ProcessTable(seed=1)
+        text = table.top(0.8, n=8)
+        cpu_column = [
+            float(line.split()[3]) for line in text.splitlines()[2:]
+        ]
+        assert cpu_column == sorted(cpu_column, reverse=True)

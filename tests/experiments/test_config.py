@@ -1,0 +1,40 @@
+"""Unit tests for experiment configuration presets."""
+
+from repro.core.sampling import recommended_sample_size
+from repro.core.classification import G1, G3
+from repro.experiments.config import ExperimentConfig, full, quick
+
+
+def test_quick_is_small():
+    config = quick()
+    assert config.scale < 0.1
+    assert config.unary_train < 370
+
+
+def test_full_matches_paper_sizing():
+    config = full()
+    # eq. (4) sizes from §5: 370 unary, 550 join.
+    assert config.unary_train == recommended_sample_size(G1.variables, 6) == 370
+    assert config.join_train == recommended_sample_size(G3.variables, 6) == 550
+
+
+def test_train_count_dispatch():
+    config = ExperimentConfig(unary_train=10, join_train=20)
+    assert config.train_count("unary") == 10
+    assert config.train_count("join") == 20
+
+
+def test_with_seed_replaces_only_seed():
+    config = quick(seed=1).with_seed(42)
+    assert config.seed == 42
+    assert config.scale == quick().scale
+
+
+def test_main_module_help_exits_cleanly():
+    import pytest as _pytest
+
+    from repro.experiments.__main__ import main
+
+    with _pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0

@@ -1,0 +1,59 @@
+"""Unit tests for report formatting."""
+
+from repro.experiments.report import ascii_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(("name", "value"), [("a", 1.5), ("bb", 20)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(("h",), [("x",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.000123,), (1234567.0,), (0.5,)])
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+
+    def test_bool_rendering(self):
+        text = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            [1.0, 2.0],
+            {"observed": [10.0, 20.0], "estimated": [11.0, 19.0]},
+            x_label="n",
+        )
+        assert "observed" in text and "estimated" in text
+        assert len(text.splitlines()) == 4
+
+    def test_max_rows_thins_output(self):
+        x = list(range(100))
+        series = {"y": [float(v) for v in x]}
+        text = format_series(x, series, max_rows=10)
+        assert len(text.splitlines()) <= 2 + 26  # header + separator + thinned rows
+
+
+class TestHistogram:
+    def test_bar_lengths_proportional(self):
+        values = [1.0] * 90 + [9.0] * 10
+        text = ascii_histogram(values, bins=2, width=40)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 40
+        assert 0 < lines[-1].count("#") < 10
+
+    def test_counts_shown(self):
+        text = ascii_histogram([1.0, 1.0, 2.0], bins=2)
+        assert "2" in text and "1" in text

@@ -1,0 +1,111 @@
+"""Robustness and failure-injection tests for the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BuilderConfig,
+    CostModelBuilder,
+    G1,
+    StatesConfig,
+    validate_model,
+)
+from repro.engine import Column, DataType, LocalDatabase, SelectQuery
+from repro.env import dynamic_uniform_environment
+from repro.workload import make_site
+
+
+class TestExtremeNoise:
+    def test_pipeline_survives_heavy_measurement_noise(self):
+        site = make_site(
+            "noisy", environment_kind="uniform", scale=0.008, seed=81,
+            noise_sigma=0.4,
+        )
+        builder = CostModelBuilder(site.database)
+        outcome = builder.build(G1, site.generator.queries_for(G1, 100))
+        # The model may be rough, but it must exist, be finite, and
+        # retain the contention signal.
+        assert np.all(np.isfinite(outcome.model.coefficients))
+        assert outcome.model.num_states >= 1
+        test = builder.collect(site.generator.queries_for(G1, 30))
+        report = validate_model(outcome.model, test)
+        assert report.pct_acceptable > 50.0
+
+
+class TestStaticEnvironmentDegeneration:
+    def test_iupma_in_static_environment_returns_one_state(self):
+        """With no contention variation, the multi-states method must
+        degrade gracefully to the static special case."""
+        site = make_site("calm", environment_kind="static", scale=0.008, seed=82)
+        builder = CostModelBuilder(site.database)
+        outcome = builder.build(G1, site.generator.queries_for(G1, 80), "iupma")
+        assert outcome.model.num_states == 1
+        assert outcome.model.r_squared > 0.9
+
+
+class TestDegenerateWorkloads:
+    def test_queries_with_empty_results(self):
+        db = LocalDatabase(
+            "deg", environment=dynamic_uniform_environment(seed=3), seed=3
+        )
+        rng = np.random.default_rng(0)
+        db.create_table(
+            "t",
+            [Column("a", DataType.INT), Column("b", DataType.INT)],
+            [(int(rng.integers(0, 100)), int(rng.integers(0, 100))) for _ in range(800)],
+        )
+        db.analyze()
+        from repro.core import ProbingQuery, collect_observations
+        from repro.engine import Comparison
+
+        probe = ProbingQuery(db, SelectQuery("t", ("a",)))
+        # Half the sample returns nothing at all.
+        queries = [
+            SelectQuery("t", ("a",), Comparison("a", "<", 1000 + i)) for i in range(30)
+        ] + [
+            SelectQuery("t", ("a",), Comparison("a", ">", 1000 + i)) for i in range(30)
+        ]
+        observations = collect_observations(db, queries, probe)
+        builder = CostModelBuilder(db, probe=probe)
+        outcome = builder.build_from_observations(observations, G1)
+        assert np.all(np.isfinite(outcome.model.coefficients))
+
+    def test_tiny_sample_still_produces_model(self, session_site):
+        builder = CostModelBuilder(session_site.database)
+        queries = session_site.generator.queries_for(G1, 12)
+        outcome = builder.build(G1, queries)
+        # Identifiability guard keeps the state count low for 12 points.
+        assert outcome.model.num_states <= 2
+
+    def test_single_observation_rejected_cleanly(self, session_site):
+        builder = CostModelBuilder(session_site.database)
+        queries = session_site.generator.queries_for(G1, 1)
+        with pytest.raises(ValueError):
+            builder.build(G1, queries)
+
+
+class TestConfigExtremes:
+    def test_zero_tolerance_selection_keeps_basics_only(self, session_g1_build):
+        from repro.core import SelectionConfig
+
+        builder, outcome = session_g1_build
+        config = BuilderConfig(
+            selection=SelectionConfig(backward_tolerance=0.0, forward_gain=0.5)
+        )
+        strict = CostModelBuilder(builder.database, config=config)
+        result = strict.build_from_observations(outcome.observations, G1)
+        assert set(result.model.variable_names) <= set(G1.variables.all_names)
+
+    def test_max_states_one_equals_static(self, session_g1_build):
+        builder, outcome = session_g1_build
+        config = BuilderConfig(states=StatesConfig(max_states=1))
+        limited = CostModelBuilder(builder.database, config=config)
+        result = limited.build_from_observations(outcome.observations, G1, "iupma")
+        assert result.model.num_states == 1
+
+    def test_aggressive_merging_collapses_states(self, session_g1_build):
+        builder, outcome = session_g1_build
+        config = BuilderConfig(states=StatesConfig(merge_threshold=100.0))
+        merged = CostModelBuilder(builder.database, config=config)
+        result = merged.build_from_observations(outcome.observations, G1, "iupma")
+        assert result.model.num_states == 1

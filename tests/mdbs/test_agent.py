@@ -1,0 +1,98 @@
+"""Unit tests for the MDBS agent."""
+
+import pytest
+
+from repro.core.classification import G1
+from repro.core.probing import ProbingCostEstimator
+from repro.engine.errors import CatalogError
+from repro.engine.query import SelectQuery
+from repro.mdbs.agent import MDBSAgent
+
+
+@pytest.fixture
+def agent(dynamic_database):
+    return MDBSAgent(dynamic_database)
+
+
+class TestInterface:
+    def test_execute_passthrough(self, agent):
+        result = agent.execute("select a from t1 where b < 50")
+        assert result.cardinality > 0
+
+    def test_classify(self, agent):
+        assert agent.classify("select a from t1 where b < 50") is G1
+
+    def test_site_name(self, agent):
+        assert agent.site == "dyn_db"
+
+
+class TestProbing:
+    def test_observed_probing_cost(self, agent):
+        assert agent.observed_probing_cost() > 0
+
+    def test_estimated_requires_calibration(self, agent):
+        with pytest.raises(RuntimeError):
+            agent.estimated_probing_cost()
+
+    def test_calibrate_then_estimate(self, agent):
+        estimator = agent.calibrate_estimator(samples=40, interval_seconds=45.0)
+        assert isinstance(estimator, ProbingCostEstimator)
+        assert agent.estimated_probing_cost() >= 0 or True  # numeric, no raise
+        assert isinstance(agent.estimated_probing_cost(), float)
+
+    def test_probing_cost_prefers_estimated_when_asked(self, agent):
+        agent.calibrate_estimator(samples=40, interval_seconds=45.0)
+        # Both paths produce plausible costs for the same environment.
+        estimated = agent.probing_cost(prefer_estimated=True)
+        observed = agent.probing_cost(prefer_estimated=False)
+        assert estimated == pytest.approx(observed, abs=max(1.0, observed))
+
+    def test_prefer_estimated_falls_back_without_estimator(self, agent):
+        assert agent.probing_cost(prefer_estimated=True) > 0
+
+
+class TestFactsExport:
+    def test_export_covers_all_tables(self, agent):
+        facts = agent.export_table_facts()
+        assert {f.name for f in facts} == {"t1"}
+        (f,) = facts
+        assert f.cardinality == 400
+        assert f.tuple_length == 16
+        assert f.column_stats["a"][0] is not None  # min
+        assert f.site == "dyn_db"
+
+    def test_export_includes_indexes(self, small_database):
+        agent = MDBSAgent(small_database)
+        facts = {f.name: f for f in agent.export_table_facts()}
+        assert facts["t1"].indexed_columns == {"a": "nonclustered"}
+        assert facts["t2"].indexed_columns == {"b": "clustered"}
+        assert facts["t2"].clustered_on == "b"
+
+
+class TestTempTables:
+    def test_create_query_drop(self, agent):
+        agent.create_temp_table("_tmp", ("x", "y"), (8, 8), [(1, 2), (3, 4)])
+        result = agent.execute(SelectQuery("_tmp"))
+        assert sorted(result.result.rows) == [(1, 2), (3, 4)]
+        agent.drop_temp_table("_tmp")
+        with pytest.raises(CatalogError):
+            agent.execute(SelectQuery("_tmp"))
+
+    def test_recreate_replaces(self, agent):
+        agent.create_temp_table("_tmp", ("x",), (8,), [(1,)])
+        agent.create_temp_table("_tmp", ("x",), (8,), [(2,), (3,)])
+        result = agent.execute(SelectQuery("_tmp"))
+        assert result.cardinality == 2
+        agent.drop_temp_table("_tmp")
+
+    def test_empty_shipment_allowed(self, agent):
+        agent.create_temp_table("_tmp", ("x",), (8,), [])
+        assert agent.execute(SelectQuery("_tmp")).cardinality == 0
+        agent.drop_temp_table("_tmp")
+
+    def test_types_inferred_from_first_row(self, agent):
+        agent.create_temp_table("_tmp", ("x", "s"), (8, 16), [(1, "a")])
+        table = agent.database.catalog.table("_tmp")
+        assert table.schema.column("x").dtype.value == "int"
+        assert table.schema.column("s").dtype.value == "str"
+        agent.drop_temp_table("_tmp")

@@ -1,0 +1,133 @@
+"""Unit tests for the global catalog."""
+
+import pytest
+
+from repro.core.fitting import fit_qualitative
+from repro.core.model import MultiStateCostModel
+from repro.core.partition import uniform_partition
+from repro.mdbs.catalog import GlobalCatalog, GlobalCatalogError, TableFacts
+
+from ..core.synthetic import stepped_sample
+
+
+def make_model(label="G1"):
+    X, y, probing = stepped_sample(true_states=2, n=100, seed=1)
+    fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x",))
+    return MultiStateCostModel.from_fit(fit, label, "unary", "iupma")
+
+
+def make_facts(site="s1", name="t1"):
+    return TableFacts(
+        site=site,
+        name=name,
+        cardinality=100,
+        tuple_length=24,
+        column_widths={"a": 8, "b": 8, "c": 8},
+        column_stats={"a": (0, 99, 50)},
+        indexed_columns={"a": "nonclustered"},
+    )
+
+
+@pytest.fixture
+def catalog():
+    cat = GlobalCatalog()
+    cat.register_site("s1")
+    cat.register_site("s2")
+    return cat
+
+
+class TestSites:
+    def test_registration_idempotent(self, catalog):
+        catalog.register_site("s1")
+        assert catalog.sites == ("s1", "s2")
+
+    def test_unknown_site_rejected(self, catalog):
+        with pytest.raises(GlobalCatalogError):
+            catalog.register_table(make_facts(site="s9"))
+
+
+class TestTables:
+    def test_register_and_lookup(self, catalog):
+        catalog.register_table(make_facts())
+        assert catalog.table("s1", "t1").cardinality == 100
+
+    def test_missing_table_rejected(self, catalog):
+        with pytest.raises(GlobalCatalogError):
+            catalog.table("s1", "nope")
+
+    def test_locate_across_sites(self, catalog):
+        catalog.register_table(make_facts("s1", "t1"))
+        catalog.register_table(make_facts("s2", "t1"))
+        catalog.register_table(make_facts("s2", "t2"))
+        assert catalog.locate("t1") == ["s1", "s2"]
+        assert catalog.locate("t2") == ["s2"]
+        assert catalog.locate("t9") == []
+
+    def test_tables_at_site(self, catalog):
+        catalog.register_table(make_facts("s1", "t1"))
+        catalog.register_table(make_facts("s1", "t2"))
+        assert [f.name for f in catalog.tables_at("s1")] == ["t1", "t2"]
+        assert catalog.tables_at("s2") == []
+
+
+class TestCostModels:
+    def test_store_and_fetch(self, catalog):
+        model = make_model()
+        catalog.store_cost_model("s1", model)
+        assert catalog.cost_model("s1", "G1") is model
+        assert catalog.has_cost_model("s1", "G1")
+        assert not catalog.has_cost_model("s2", "G1")
+
+    def test_missing_model_rejected(self, catalog):
+        with pytest.raises(GlobalCatalogError):
+            catalog.cost_model("s1", "G1")
+
+    def test_models_at_site(self, catalog):
+        catalog.store_cost_model("s1", make_model("G1"))
+        catalog.store_cost_model("s1", make_model("G3"))
+        assert [m.class_label for m in catalog.cost_models_at("s1")] == ["G1", "G3"]
+
+    def test_export_import_round_trip(self, catalog):
+        model = make_model()
+        catalog.store_cost_model("s1", model)
+        payload = catalog.export_models()
+        fresh = GlobalCatalog()
+        fresh.import_models(payload)
+        restored = fresh.cost_model("s1", "G1")
+        assert restored.predict({"x": 10.0}, 0.5) == pytest.approx(
+            model.predict({"x": 10.0}, 0.5)
+        )
+
+    def test_export_is_json_compatible(self, catalog):
+        import json
+
+        catalog.store_cost_model("s1", make_model())
+        json.dumps(catalog.export_models())
+
+
+class TestFilePersistence:
+    def test_save_load_round_trip(self, catalog, tmp_path):
+        model = make_model()
+        catalog.store_cost_model("s1", model)
+        path = tmp_path / "models.json"
+        catalog.save_models(path)
+
+        fresh = GlobalCatalog()
+        assert fresh.load_models(path) == 1
+        restored = fresh.cost_model("s1", "G1")
+        assert restored.predict({"x": 4.0}, 0.3) == pytest.approx(
+            model.predict({"x": 4.0}, 0.3)
+        )
+        # Prediction intervals survive the file round trip too.
+        assert restored.predict_with_interval({"x": 4.0}, 0.3) == pytest.approx(
+            model.predict_with_interval({"x": 4.0}, 0.3)
+        )
+
+    def test_saved_file_is_readable_json(self, catalog, tmp_path):
+        import json
+
+        catalog.store_cost_model("s2", make_model("G3"))
+        path = tmp_path / "models.json"
+        catalog.save_models(path)
+        payload = json.loads(path.read_text())
+        assert "s2/G3" in payload

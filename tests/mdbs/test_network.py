@@ -1,0 +1,31 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.mdbs.network import NetworkModel
+
+
+def test_zero_bytes_is_free():
+    assert NetworkModel().transfer_seconds(0) == 0.0
+
+
+def test_latency_plus_bandwidth():
+    net = NetworkModel(latency_seconds=0.1, bytes_per_second=1000)
+    assert net.transfer_seconds(500) == pytest.approx(0.1 + 0.5)
+
+
+def test_monotone_in_size():
+    net = NetworkModel()
+    assert net.transfer_seconds(2_000_000) > net.transfer_seconds(1_000)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel().transfer_seconds(-1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel(latency_seconds=-0.1)
+    with pytest.raises(ValueError):
+        NetworkModel(bytes_per_second=0)

@@ -1,0 +1,104 @@
+"""Unit tests for global execution via the MDBS server."""
+
+import pytest
+
+from repro.engine.predicate import Comparison
+from repro.mdbs.gquery import GlobalJoinQuery
+
+
+@pytest.fixture
+def globalq():
+    return GlobalJoinQuery(
+        "oracle_site",
+        "R1",
+        "db2_site",
+        "R2",
+        "a4",
+        "a4",
+        ("R1.a1", "R1.a5", "R2.a2"),
+        left_predicate=Comparison("a3", "<", 600),
+        right_predicate=Comparison("a7", ">", 10000),
+    )
+
+
+def cross_site_reference(sites, query):
+    """Naive cross-site join computed directly over the raw tables."""
+    left = sites[query.left_site].database.catalog.table(query.left_table)
+    right = sites[query.right_site].database.catalog.table(query.right_table)
+    lpos = left.schema.position(query.left_join_column)
+    rpos = right.schema.position(query.right_join_column)
+    out = []
+    for lrow in left:
+        if not query.left_predicate.evaluate(lrow, left.schema):
+            continue
+        for rrow in right:
+            if not query.right_predicate.evaluate(rrow, right.schema):
+                continue
+            if lrow[lpos] == rrow[rpos]:
+                values = {}
+                for c in left.schema.column_names:
+                    values[f"{query.left_table}.{c}"] = lrow[left.schema.position(c)]
+                for c in right.schema.column_names:
+                    values[f"{query.right_table}.{c}"] = rrow[right.schema.position(c)]
+                out.append(tuple(values[c] for c in query.columns))
+    return out
+
+
+class TestRegistration:
+    def test_sites_registered(self, mini_mdbs):
+        server, _ = mini_mdbs
+        assert set(server.catalog.sites) == {"oracle_site", "db2_site"}
+
+    def test_facts_imported(self, mini_mdbs):
+        server, sites = mini_mdbs
+        facts = server.catalog.table("oracle_site", "R1")
+        assert facts.cardinality == sites[
+            "oracle_site"
+        ].database.catalog.table("R1").cardinality
+
+
+class TestExecution:
+    def test_result_matches_cross_site_reference(self, mini_mdbs, globalq):
+        server, sites = mini_mdbs
+        execution = server.execute(globalq)
+        assert sorted(execution.rows) == sorted(cross_site_reference(sites, globalq))
+        assert execution.column_names == globalq.columns
+
+    def test_steps_cover_selects_ship_join(self, mini_mdbs, globalq):
+        server, _ = mini_mdbs
+        execution = server.execute(globalq)
+        descriptions = " | ".join(s.description for s in execution.steps)
+        assert "select R1" in descriptions
+        assert "select R2" in descriptions
+        assert "ship" in descriptions
+        assert "join at" in descriptions
+        assert execution.observed_seconds > 0
+
+    def test_estimate_same_order_of_magnitude(self, mini_mdbs, globalq):
+        server, _ = mini_mdbs
+        execution = server.execute(globalq)
+        ratio = max(
+            execution.observed_seconds / execution.estimated_seconds,
+            execution.estimated_seconds / execution.observed_seconds,
+        )
+        assert ratio < 10.0
+
+    def test_temp_tables_cleaned_up(self, mini_mdbs, globalq):
+        server, sites = mini_mdbs
+        server.execute(globalq)
+        for site in sites.values():
+            assert not site.database.catalog.has_table("_g_left")
+            assert not site.database.catalog.has_table("_g_right")
+
+    def test_forced_join_site_still_correct(self, mini_mdbs, globalq):
+        server, sites = mini_mdbs
+        expected = sorted(cross_site_reference(sites, globalq))
+        for plan in server.optimizer().plans(globalq):
+            execution = server.execute(globalq, plan)
+            assert sorted(execution.rows) == expected
+
+    def test_refresh_site_facts(self, mini_mdbs):
+        server, sites = mini_mdbs
+        server.refresh_site_facts("oracle_site")
+        facts = server.catalog.table("oracle_site", "R1")
+        assert facts.cardinality > 0

@@ -1,0 +1,81 @@
+"""Unit tests for the partial F test."""
+
+import numpy as np
+import pytest
+
+from repro.mlr.ftest import partial_f_test
+from repro.mlr.linalg import add_intercept
+from repro.mlr.ols import fit_ols
+
+
+def make_models(effect: float, n: int = 120, seed: int = 0):
+    """Fit y ~ x1 (reduced) and y ~ x1 + x2 (full), with x2's true
+    coefficient equal to *effect*."""
+    rng = np.random.default_rng(seed)
+    x1 = rng.uniform(0, 10, n)
+    x2 = rng.uniform(0, 10, n)
+    y = 1.0 + 2.0 * x1 + effect * x2 + rng.normal(0, 1.0, n)
+    full = fit_ols(add_intercept(np.column_stack([x1, x2])), y)
+    reduced = fit_ols(add_intercept(x1.reshape(-1, 1)), y)
+    return full, reduced
+
+
+class TestPartialFTest:
+    def test_real_effect_is_significant(self):
+        full, reduced = make_models(effect=1.5)
+        result = partial_f_test(full, reduced)
+        assert result.significant(alpha=0.01)
+        assert result.df_numerator == 1
+        assert result.p_value < 1e-6
+
+    def test_no_effect_is_insignificant(self):
+        full, reduced = make_models(effect=0.0, seed=3)
+        result = partial_f_test(full, reduced)
+        assert not result.significant(alpha=0.01)
+        assert result.p_value > 0.01
+
+    def test_single_extra_term_equals_t_test_squared(self):
+        full, reduced = make_models(effect=0.7, seed=5)
+        result = partial_f_test(full, reduced)
+        # With one extra term, F = t^2 of that coefficient.
+        t = full.t_statistics[2]
+        assert result.f_statistic == pytest.approx(t * t, rel=1e-6)
+
+    def test_different_n_rejected(self):
+        full, _ = make_models(effect=1.0)
+        _, other = make_models(effect=1.0, n=50)
+        with pytest.raises(ValueError):
+            partial_f_test(full, other)
+
+    def test_non_nested_direction_rejected(self):
+        full, reduced = make_models(effect=1.0)
+        with pytest.raises(ValueError):
+            partial_f_test(reduced, full)
+
+    def test_better_reduced_fit_rejected(self):
+        """A 'reduced' model that fits better than the 'full' model is a
+        usage error (the models cannot be nested)."""
+        rng = np.random.default_rng(7)
+        x1 = rng.uniform(0, 10, 60)
+        x2 = rng.uniform(0, 10, 60)
+        y = 3.0 * x2 + rng.normal(0, 0.1, 60)
+        # 'full' lacks the true predictor; 'reduced' has it.
+        full = fit_ols(add_intercept(np.column_stack([x1, rng.uniform(0, 1, 60)])), y)
+        reduced = fit_ols(add_intercept(x2.reshape(-1, 1)), y)
+        with pytest.raises(ValueError):
+            partial_f_test(full, reduced)
+
+    def test_qualitative_states_justified_by_partial_f(self):
+        """Multi-state terms over a one-state model pass the partial F
+        test when the data truly has states — tying the classical test to
+        the paper's setting."""
+        from repro.core.fitting import fit_qualitative
+        from repro.core.partition import uniform_partition
+
+        from ..core.synthetic import stepped_sample
+
+        X, y, probing = stepped_sample(true_states=2, n=300, noise=0.3, seed=9)
+        one = fit_qualitative(X, y, probing, uniform_partition(0, 1, 1), ("x",))
+        two = fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x",))
+        result = partial_f_test(two.ols, one.ols)
+        assert result.significant(alpha=0.001)

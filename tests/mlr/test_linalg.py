@@ -1,0 +1,61 @@
+"""Unit tests for the regression substrate's numerical kernels."""
+
+import numpy as np
+import pytest
+
+from repro.mlr.linalg import (
+    add_intercept,
+    as_design_matrix,
+    as_response_vector,
+    least_squares,
+    xtx_inverse,
+)
+
+
+class TestCanonicalization:
+    def test_1d_promoted_to_column(self):
+        X = as_design_matrix(np.array([1.0, 2.0, 3.0]))
+        assert X.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            as_design_matrix(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_design_matrix(np.array([[1.0, np.nan]]))
+
+    def test_response_length_checked(self):
+        with pytest.raises(ValueError):
+            as_response_vector(np.array([1.0, 2.0]), 3)
+
+    def test_response_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_response_vector(np.array([1.0, np.inf]), 2)
+
+
+class TestLeastSquares:
+    def test_exact_solution(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        beta_true = np.array([2.0, -3.0])
+        beta = least_squares(X, X @ beta_true)
+        assert beta == pytest.approx(beta_true)
+
+    def test_rank_deficient_does_not_raise(self):
+        X = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])  # collinear
+        beta = least_squares(X, np.array([1.0, 2.0, 3.0]))
+        assert np.all(np.isfinite(beta))
+
+    def test_xtx_inverse_identity(self):
+        X = np.eye(3)
+        assert xtx_inverse(X) == pytest.approx(np.eye(3))
+
+    def test_xtx_inverse_singular_uses_pinv(self):
+        X = np.array([[1.0, 1.0], [1.0, 1.0]])
+        inv = xtx_inverse(X)
+        assert np.all(np.isfinite(inv))
+
+    def test_add_intercept(self):
+        X = add_intercept(np.array([[2.0], [3.0]]))
+        assert X.shape == (2, 2)
+        assert np.all(X[:, 0] == 1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for class-targeted query generation."""
+
+import pytest
+
+from repro.core.classification import G1, G2, G3, G4, G5, GC, classify
+from repro.workload.querygen import (
+    CLASS_SELECTIVITY,
+    GenerationError,
+    QueryGenerator,
+    SelectivityRange,
+)
+from repro.workload.scenarios import make_site
+
+
+@pytest.fixture(scope="module")
+def site():
+    return make_site("qgen_site", environment_kind="static", scale=0.01, seed=17)
+
+
+class TestSelectivityRange:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectivityRange(0.0, 0.5)
+        with pytest.raises(ValueError):
+            SelectivityRange(0.6, 0.5)
+
+    def test_draw_within_bounds(self, rng):
+        r = SelectivityRange(0.01, 0.5)
+        for _ in range(50):
+            assert 0.01 <= r.draw(rng) <= 0.5
+
+    def test_class_table_complete(self):
+        assert {"G1", "G2", "GC", "G3", "G4", "G5"} <= set(CLASS_SELECTIVITY)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("query_class", [G1, G2, GC, G3, G4, G5])
+    def test_generated_queries_classify_correctly(self, site, query_class):
+        generator = QueryGenerator(site.database, seed=3)
+        queries = generator.queries_for(query_class, 8)
+        assert len(queries) == 8
+        for query in queries:
+            assert classify(site.database, query) == query_class
+
+    def test_deterministic_given_seed(self, site):
+        a = QueryGenerator(site.database, seed=9).queries_for(G1, 5)
+        b = QueryGenerator(site.database, seed=9).queries_for(G1, 5)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_different_seeds_differ(self, site):
+        a = QueryGenerator(site.database, seed=1).queries_for(G1, 5)
+        b = QueryGenerator(site.database, seed=2).queries_for(G1, 5)
+        assert [str(q) for q in a] != [str(q) for q in b]
+
+    def test_table_whitelist_respected(self, site):
+        generator = QueryGenerator(site.database, seed=4)
+        queries = generator.queries_for(G1, 6, tables=["R1", "R2"])
+        assert {q.table for q in queries} <= {"R1", "R2"}
+
+    def test_g2_predicates_touch_indexed_column(self, site):
+        generator = QueryGenerator(site.database, seed=5)
+        for query in generator.queries_for(G2, 6):
+            assert "a1" in query.predicate.columns()
+
+    def test_join_queries_have_two_distinct_tables(self, site):
+        generator = QueryGenerator(site.database, seed=6)
+        for query in generator.queries_for(G3, 6):
+            assert query.left != query.right
+            assert query.left_column == query.right_column == "a4"
+
+    def test_g5_joins_on_clustered_column(self, site):
+        generator = QueryGenerator(site.database, seed=7)
+        for query in generator.queries_for(G5, 4):
+            assert query.left_column == "a2"
+
+    def test_result_sizes_spread_widely(self, site):
+        generator = QueryGenerator(site.database, seed=8)
+        sizes = [
+            site.database.execute(q).cardinality
+            for q in generator.queries_for(G1, 25)
+        ]
+        assert max(sizes) > 20 * max(1, min(sizes))
+
+    def test_unknown_class_rejected(self, site):
+        from repro.core.classification import G6
+
+        generator = QueryGenerator(site.database, seed=9)
+        with pytest.raises(GenerationError):
+            generator.queries_for(G6, 1)
+
+    def test_missing_suitable_tables_rejected(self, site):
+        generator = QueryGenerator(site.database, seed=10)
+        with pytest.raises(GenerationError):
+            # R1 is not clustered, so GC has no candidate tables.
+            generator.queries_for(GC, 1, tables=["R1"])

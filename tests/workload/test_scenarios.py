@@ -1,0 +1,56 @@
+"""Unit tests for canned experimental sites."""
+
+import pytest
+
+from repro.engine.profiles import DB2_LIKE, ORACLE_LIKE
+from repro.env.contention import ClusteredContention, ConstantContention, UniformContention
+from repro.workload.scenarios import make_environment, make_site, paper_sites
+
+
+class TestMakeEnvironment:
+    def test_static(self):
+        env = make_environment("static")
+        assert isinstance(env.trace, ConstantContention)
+        assert env.level() == 0.0
+
+    def test_uniform(self):
+        assert isinstance(make_environment("uniform", seed=1).trace, UniformContention)
+
+    def test_clustered(self):
+        assert isinstance(
+            make_environment("clustered", seed=1).trace, ClusteredContention
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_environment("chaotic")
+
+
+class TestMakeSite:
+    def test_site_is_fully_wired(self):
+        site = make_site("s", environment_kind="uniform", scale=0.01, seed=2)
+        assert site.name == "s"
+        assert site.database.environment is site.environment
+        assert site.load_builder.environment is site.environment
+        assert site.monitor.environment is site.environment
+        assert len(site.database.catalog.table_names) == 12
+
+    def test_scale_applied(self):
+        site = make_site("s", scale=0.01, seed=2)
+        assert site.database.catalog.table("R12").cardinality == 2500
+
+    def test_same_seed_reproducible(self):
+        a = make_site("a", scale=0.01, seed=5)
+        b = make_site("b", scale=0.01, seed=5)
+        assert a.database.catalog.table("R1").rows() == b.database.catalog.table(
+            "R1"
+        ).rows()
+
+
+class TestPaperSites:
+    def test_two_profiles(self):
+        oracle, db2 = paper_sites(scale=0.01)
+        assert oracle.database.profile is ORACLE_LIKE
+        assert db2.database.profile is DB2_LIKE
+        assert oracle.name == "oracle_site"
+        assert db2.name == "db2_site"

@@ -1,0 +1,107 @@
+"""Unit tests for timed workload traces and replay."""
+
+import pytest
+
+from repro.core.builder import CostModelBuilder
+from repro.core.classification import G1, G2
+from repro.engine.query import SelectQuery
+from repro.workload.trace import (
+    ReplayRecord,
+    TraceEntry,
+    WorkloadTrace,
+    replay_trace,
+)
+
+
+class TestTraceConstruction:
+    def test_entries_must_be_time_ordered(self):
+        q = SelectQuery("t")
+        with pytest.raises(ValueError):
+            WorkloadTrace((TraceEntry(5.0, q), TraceEntry(1.0, q)))
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEntry(-1.0, SelectQuery("t"))
+
+    def test_duration(self):
+        q = SelectQuery("t")
+        trace = WorkloadTrace((TraceEntry(1.0, q), TraceEntry(7.5, q)))
+        assert trace.duration == 7.5
+        assert len(trace) == 2
+        assert WorkloadTrace(()).duration == 0.0
+
+    def test_mixed_builds_requested_counts(self, session_site):
+        trace = WorkloadTrace.mixed(
+            session_site.generator, {G1: 5, G2: 3}, duration_seconds=600.0, seed=1
+        )
+        assert len(trace) == 8
+        assert trace.duration <= 600.0
+        times = [e.at_time for e in trace.entries]
+        assert times == sorted(times)
+
+    def test_mixed_deterministic(self, session_site):
+        a = WorkloadTrace.mixed(session_site.generator, {G1: 4}, 100.0, seed=5)
+        b = WorkloadTrace.mixed(session_site.generator, {G1: 4}, 100.0, seed=5)
+        assert [e.at_time for e in a.entries] == [e.at_time for e in b.entries]
+
+    def test_invalid_duration_rejected(self, session_site):
+        with pytest.raises(ValueError):
+            WorkloadTrace.mixed(session_site.generator, {G1: 1}, 0.0)
+
+
+class TestReplay:
+    def test_replay_reports_per_query(self, session_site, session_g1_build):
+        builder, outcome = session_g1_build
+        trace = WorkloadTrace.mixed(
+            session_site.generator, {G1: 12}, duration_seconds=3600.0, seed=2
+        )
+        report = replay_trace(
+            session_site.database,
+            trace,
+            {"G1": outcome.model},
+            builder.probe,
+        )
+        assert len(report.records) == 12
+        assert all(r.covered for r in report.records)
+        assert all(r.class_label == "G1" for r in report.records)
+        assert report.pct_good > 30.0
+
+    def test_uncovered_classes_recorded_without_estimate(
+        self, session_site, session_g1_build
+    ):
+        builder, outcome = session_g1_build
+        trace = WorkloadTrace.mixed(
+            session_site.generator, {G1: 3, G2: 3}, duration_seconds=600.0, seed=3
+        )
+        report = replay_trace(
+            session_site.database, trace, {"G1": outcome.model}, builder.probe
+        )
+        by_class = report.by_class()
+        assert all(r.covered for r in by_class["G1"])
+        assert all(not r.covered for r in by_class["G2"])
+        import math
+
+        assert all(math.isnan(r.rel_error) for r in by_class["G2"])
+
+    def test_clock_advances_to_arrivals(self, session_site, session_g1_build):
+        builder, outcome = session_g1_build
+        start = session_site.environment.now
+        queries = session_site.generator.queries_for(G1, 2)
+        trace = WorkloadTrace(
+            (
+                TraceEntry(start + 100.0, queries[0]),
+                TraceEntry(start + 900.0, queries[1]),
+            )
+        )
+        report = replay_trace(
+            session_site.database, trace, {"G1": outcome.model}, builder.probe
+        )
+        assert session_site.environment.now >= start + 900.0
+        assert report.records[0].at_time == start + 100.0
+
+    def test_empty_report_percentages(self):
+        from repro.workload.trace import ReplayReport
+
+        report = ReplayReport()
+        assert report.pct_good == 0.0
+        assert report.pct_very_good == 0.0
