@@ -63,8 +63,15 @@ def main() -> None:
     # merges, variable selection), render the derivation report:
     from repro.core import derivation_report
 
+    report_text = derivation_report(outcome)
     print("\n--- derivation report (first 15 lines) ---")
-    print("\n".join(derivation_report(outcome).splitlines()[:15]))
+    print("\n".join(report_text.splitlines()[:15]))
+
+    # The report ends with per-phase build timings (real seconds spent
+    # sampling / partitioning / selecting / fitting):
+    lines = report_text.splitlines()
+    start = lines.index("Derivation cost") - 1
+    print("\n".join(lines[start:]))
 
 
 if __name__ == "__main__":

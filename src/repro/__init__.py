@@ -21,8 +21,8 @@ Quick start::
     print(outcome.model.equation_table())
 """
 
-from . import core, engine, env, mdbs, mlr, workload
+from . import core, engine, env, mdbs, mlr, obs, workload
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "engine", "env", "mdbs", "mlr", "workload", "__version__"]
+__all__ = ["core", "engine", "env", "mdbs", "mlr", "obs", "workload", "__version__"]

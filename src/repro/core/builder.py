@@ -21,11 +21,13 @@ Approach 2.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..engine.database import LocalDatabase
 from ..engine.query import Query
 from .classification import QueryClass
@@ -62,6 +64,9 @@ class BuildOutcome:
     observations: list[Observation]
     selection: SelectionResult
     determination: StateDeterminationResult | None
+    #: Real (wall-clock) seconds spent in each pipeline phase, in
+    #: pipeline order — the model's derivation cost.
+    timings: dict[str, float] = field(default_factory=dict)
 
 
 class CostModelBuilder:
@@ -91,9 +96,13 @@ class CostModelBuilder:
 
     def collect(self, queries: Sequence[Query | str]) -> list[Observation]:
         """Run sample queries, pairing each with a probing cost."""
-        return collect_observations(
-            self.database, queries, self.probe, self.config.sampling
-        )
+        with obs.span("build.sampling", database=self.database.name) as sp:
+            observations = collect_observations(
+                self.database, queries, self.probe, self.config.sampling
+            )
+            if sp.recording:
+                sp.set_attribute("n_observations", len(observations))
+        return observations
 
     # -- model development ------------------------------------------------------
 
@@ -106,76 +115,106 @@ class CostModelBuilder:
         """Steps 4–6 of the pipeline over pre-collected observations."""
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
+        with obs.span(
+            "build.derive", class_label=query_class.label, algorithm=algorithm
+        ):
+            return self._derive(observations, query_class, algorithm)
+
+    def _derive(
+        self,
+        observations: Sequence[Observation],
+        query_class: QueryClass,
+        algorithm: str,
+    ) -> BuildOutcome:
+        timings: dict[str, float] = {}
         observations = list(observations)
         variables = query_class.variables
         check_observations(observations, variables.all_names)
 
         columns = {
-            name: np.array([obs.values[name] for obs in observations])
+            name: np.array([o.values[name] for o in observations])
             for name in variables.all_names
         }
-        y = np.array([obs.cost for obs in observations])
-        probing = np.array([obs.probing_cost for obs in observations])
+        y = np.array([o.cost for o in observations])
+        probing = np.array([o.probing_cost for o in observations])
 
+        phase_started = time.perf_counter()
         determination: StateDeterminationResult | None = None
-        if algorithm == "static":
-            states = ContentionStates(float(probing.min()), float(probing.max()))
-        else:
-            X_basic = np.column_stack([columns[n] for n in variables.basic])
-            determine = (
-                determine_states_iupma if algorithm == "iupma" else determine_states_icma
-            )
-            determination = determine(
-                X_basic, y, probing, variables.basic, self.config.states
-            )
-            states = determination.states
+        with obs.span("build.partitioning", algorithm=algorithm) as sp:
+            if algorithm == "static":
+                states = ContentionStates(float(probing.min()), float(probing.max()))
+            else:
+                X_basic = np.column_stack([columns[n] for n in variables.basic])
+                determine = (
+                    determine_states_iupma
+                    if algorithm == "iupma"
+                    else determine_states_icma
+                )
+                determination = determine(
+                    X_basic, y, probing, variables.basic, self.config.states
+                )
+                states = determination.states
+            if sp.recording:
+                sp.set_attribute("num_states", states.num_states)
+        timings["partitioning"] = time.perf_counter() - phase_started
 
-        selection = select_variables(
-            columns,
-            y,
-            probing,
-            variables.basic,
-            variables.secondary,
-            states,
-            self.config.states.form,
-            self.config.selection,
-        )
-        model = MultiStateCostModel.from_fit(
-            selection.fit,
-            class_label=query_class.label,
-            family=query_class.family,
-            algorithm=algorithm,
-            database=self.database.name,
-            probe=self.probe.describe(),
-            # Training means of the selected variables: a representative
-            # query for diagnostics (e.g. per-state cost curves).
-            variable_means={
-                name: float(np.mean(columns[name]))
-                for name in selection.variables
-            },
-            selection_steps=[
-                {"action": s.action, "variable": s.variable, "detail": s.detail}
-                for s in selection.steps
-            ],
-            state_history=(
-                [
-                    {
-                        "num_states": r.num_states,
-                        "r_squared": r.r_squared,
-                        "standard_error": r.standard_error,
-                        "accepted": r.accepted,
-                    }
-                    for r in determination.phase1
-                ]
-                if determination is not None
-                else []
-            ),
-        )
+        phase_started = time.perf_counter()
+        with obs.span("build.variable_selection") as sp:
+            selection = select_variables(
+                columns,
+                y,
+                probing,
+                variables.basic,
+                variables.secondary,
+                states,
+                self.config.states.form,
+                self.config.selection,
+            )
+            if sp.recording:
+                sp.set_attribute("selected", list(selection.variables))
+        timings["variable_selection"] = time.perf_counter() - phase_started
+
+        phase_started = time.perf_counter()
+        with obs.span("build.fitting"):
+            model = MultiStateCostModel.from_fit(
+                selection.fit,
+                class_label=query_class.label,
+                family=query_class.family,
+                algorithm=algorithm,
+                database=self.database.name,
+                probe=self.probe.describe(),
+                # Training means of the selected variables: a representative
+                # query for diagnostics (e.g. per-state cost curves).
+                variable_means={
+                    name: float(np.mean(columns[name]))
+                    for name in selection.variables
+                },
+                selection_steps=[
+                    {"action": s.action, "variable": s.variable, "detail": s.detail}
+                    for s in selection.steps
+                ],
+                state_history=(
+                    [
+                        {
+                            "num_states": r.num_states,
+                            "r_squared": r.r_squared,
+                            "standard_error": r.standard_error,
+                            "accepted": r.accepted,
+                        }
+                        for r in determination.phase1
+                    ]
+                    if determination is not None
+                    else []
+                ),
+            )
+        timings["fitting"] = time.perf_counter() - phase_started
+        obs.inc("build.models_built")
         return BuildOutcome(
             model=model,
             observations=observations,
             selection=selection,
             determination=determination,
+            timings=timings,
         )
 
     def build(
@@ -185,5 +224,15 @@ class CostModelBuilder:
         algorithm: str = "iupma",
     ) -> BuildOutcome:
         """The full pipeline: collect observations, then derive the model."""
-        observations = self.collect(queries)
-        return self.build_from_observations(observations, query_class, algorithm)
+        with obs.span(
+            "build",
+            database=self.database.name,
+            class_label=query_class.label,
+            algorithm=algorithm,
+        ):
+            sampling_started = time.perf_counter()
+            observations = self.collect(queries)
+            sampling_seconds = time.perf_counter() - sampling_started
+            outcome = self.build_from_observations(observations, query_class, algorithm)
+        outcome.timings = {"sampling": sampling_seconds, **outcome.timings}
+        return outcome

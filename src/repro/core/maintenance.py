@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from .. import obs
 from ..engine.database import LocalDatabase
 from ..engine.query import Query
 from .builder import BuildOutcome, CostModelBuilder
@@ -252,9 +253,16 @@ class ModelMaintainer:
 
     def _rebuild(self, label: str, reasons: tuple[str, ...]) -> BuildOutcome:
         registration = self._registrations[label]
-        queries = registration.query_source(registration.sample_count)
-        outcome = self.builder.build(
-            registration.query_class, queries, registration.algorithm
+        with obs.span(
+            "maintenance.rebuild", class_label=label, reasons=list(reasons)
+        ):
+            queries = registration.query_source(registration.sample_count)
+            outcome = self.builder.build(
+                registration.query_class, queries, registration.algorithm
+            )
+        obs.inc("maintenance.rebuilds")
+        obs.set_gauge(
+            "maintenance.last_rebuild_at", self.builder.database.environment.now
         )
         registration.last_built_at = self.builder.database.environment.now
         self.models[label] = outcome

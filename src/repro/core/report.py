@@ -79,6 +79,14 @@ def derivation_report(
         f"F significant at 1%: {'yes' if model.is_significant() else 'NO'}"
     )
 
+    if outcome.timings:
+        lines += _section("Derivation cost")
+        total = sum(outcome.timings.values())
+        for phase, seconds in outcome.timings.items():
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {phase}: {seconds:.3f}s ({share:.0f}%)")
+        lines.append(f"  total: {total:.3f}s (real time)")
+
     if test_observations:
         from .validation import validate_model
 

@@ -100,6 +100,21 @@ def validate_model(
     """
     if not test_observations:
         raise ValueError("at least one test observation is required")
+    from ..obs import span as _obs_span
+
+    with _obs_span(
+        "build.validation",
+        class_label=model.class_label,
+        n_queries=len(test_observations),
+    ):
+        return _validate(model, test_observations, alpha)
+
+
+def _validate(
+    model: MultiStateCostModel,
+    test_observations: Sequence[Observation],
+    alpha: float,
+) -> ValidationReport:
     estimates = np.array(
         [model.predict(obs.values, obs.probing_cost) for obs in test_observations]
     )

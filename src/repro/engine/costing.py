@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .metrics import ExecutionMetrics
 from .profiles import DBMSProfile
 
@@ -85,6 +86,10 @@ def simulate_elapsed(
     if noise <= 0:
         raise ValueError("noise must be positive")
     init_time, io_time, cpu_time = base_components(metrics, profile)
+    registry = obs.get_registry()
+    registry.observe("engine.costing.io_seconds", io_time)
+    registry.observe("engine.costing.cpu_seconds", cpu_time)
+    registry.set_gauge("engine.costing.last_slowdown", slowdown)
     return ElapsedBreakdown(
         init_time=init_time,
         io_time=io_time,

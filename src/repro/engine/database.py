@@ -17,6 +17,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..env.environment import Environment, static_environment
 from .access import UnaryExecution
 from .catalog import LocalCatalog
@@ -169,31 +170,42 @@ class LocalDatabase:
 
     def execute(self, query: Query | str) -> QueryResult:
         """Execute *query*, returning result rows plus timing under load."""
-        if isinstance(query, str):
-            query = self.parse(query)
-        started_at = self.environment.now
-        level = self.environment.level()
-        slowdown = self.environment.slowdown()
-        noise = self._noise()
+        with obs.span("engine.execute") as sp:
+            if isinstance(query, str):
+                query = self.parse(query)
+            started_at = self.environment.now
+            level = self.environment.level()
+            slowdown = self.environment.slowdown()
+            noise = self._noise()
 
-        if isinstance(query, SelectQuery):
-            plan = self.plan(query)
-            assert isinstance(plan, UnaryPlan)
-            execution: UnaryExecution = plan.execute(self.catalog.table(query.table), query)
-            infos: tuple[AccessInfo, ...] = (execution.info,)
-            plan_desc = execution.info.method
-        else:
-            plan = self.plan(query)
-            assert isinstance(plan, JoinPlan)
-            jexec: JoinExecution = plan.execute(
-                self.catalog.table(query.left), self.catalog.table(query.right), query
-            )
-            execution = jexec  # type: ignore[assignment]
-            infos = (jexec.left_info, jexec.right_info)
-            plan_desc = jexec.method
+            if isinstance(query, SelectQuery):
+                plan = self.plan(query)
+                assert isinstance(plan, UnaryPlan)
+                execution: UnaryExecution = plan.execute(self.catalog.table(query.table), query)
+                infos: tuple[AccessInfo, ...] = (execution.info,)
+                plan_desc = execution.info.method
+            else:
+                plan = self.plan(query)
+                assert isinstance(plan, JoinPlan)
+                jexec: JoinExecution = plan.execute(
+                    self.catalog.table(query.left), self.catalog.table(query.right), query
+                )
+                execution = jexec  # type: ignore[assignment]
+                infos = (jexec.left_info, jexec.right_info)
+                plan_desc = jexec.method
 
-        breakdown = simulate_elapsed(execution.metrics, self.profile, slowdown, noise)
-        self.environment.advance(breakdown.elapsed)
+            breakdown = simulate_elapsed(execution.metrics, self.profile, slowdown, noise)
+            self.environment.advance(breakdown.elapsed)
+            self._record_execution(plan_desc, execution.metrics, breakdown)
+            if sp.recording:
+                sp.set_attributes(
+                    database=self.name,
+                    plan=plan_desc,
+                    rows=execution.result.cardinality,
+                    pages_read=execution.metrics.total_page_reads,
+                    simulated_seconds=breakdown.elapsed,
+                    contention_level=level,
+                )
         return QueryResult(
             query=query,
             result=execution.result,
@@ -204,6 +216,25 @@ class LocalDatabase:
             contention_level=level,
             started_at=started_at,
         )
+
+    def _record_execution(
+        self, plan_desc: str, metrics: ExecutionMetrics, breakdown: ElapsedBreakdown
+    ) -> None:
+        """Feed the global metrics registry: pages, CPU ops, and the
+        simulated elapsed seconds per access method."""
+        registry = obs.get_registry()
+        registry.inc("engine.queries")
+        registry.inc("engine.pages.sequential", metrics.sequential_page_reads)
+        registry.inc("engine.pages.random", metrics.random_page_reads)
+        registry.inc(
+            "engine.cpu_ops",
+            metrics.tuples_read
+            + metrics.tuples_evaluated
+            + metrics.tuples_output
+            + metrics.sort_comparisons
+            + metrics.hash_operations,
+        )
+        registry.observe(f"engine.elapsed_seconds.{plan_desc}", breakdown.elapsed)
 
     def _noise(self) -> float:
         if self.noise_sigma == 0:

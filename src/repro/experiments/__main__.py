@@ -5,11 +5,16 @@ Usage::
     python -m repro.experiments            # quick preset (minutes)
     python -m repro.experiments --full     # paper-sized preset (slower)
     python -m repro.experiments --seed 42  # different random universe
+    python -m repro.experiments --trace-out trace.jsonl --verbose
 
 Prints each artifact in order — Figure 1, Tables 4–6, Figures 4–10, the
 state-count / model-form / probing-estimation / sample-size ablations,
 and the end-to-end plan-quality experiment — with the paper's reference
 numbers alongside, so the output can be diffed against EXPERIMENTS.md.
+
+``--trace-out PATH`` records a full observability trace of the run and
+writes it as JSONL at exit; ``--verbose`` prints the per-span summary
+table and the metrics registry at the end.
 """
 
 from __future__ import annotations
@@ -18,7 +23,9 @@ import argparse
 import sys
 import time
 
+from .. import obs
 from .config import full, quick
+from .harness import cache_summary
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
 from .model_forms import render_model_forms, run_model_forms
@@ -42,6 +49,11 @@ def _banner(title: str) -> None:
     print("=" * 72)
 
 
+def _bench_done(name: str) -> None:
+    """One-line cache report after each bench run."""
+    print(f"[{name} done] {cache_summary()}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
@@ -50,8 +62,27 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true", help="paper-sized sampling (slower)"
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable tracing and write the JSONL trace here at exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the span summary table and metrics at the end",
+    )
     args = parser.parse_args(argv)
     config = full(seed=args.seed) if args.full else quick(seed=args.seed)
+    if args.trace_out:
+        # Fail now, not after a multi-minute run, if the path is bad.
+        try:
+            with open(args.trace_out, "w"):
+                pass
+        except OSError as exc:
+            parser.error(f"--trace-out {args.trace_out}: {exc}")
+    tracer = obs.enable() if (args.trace_out or args.verbose) else None
     started = time.time()
     print(
         f"preset={'full' if args.full else 'quick'} seed={config.seed} "
@@ -59,6 +90,25 @@ def main(argv: list[str] | None = None) -> int:
         f"test={config.test_count}"
     )
 
+    try:
+        _run_benches(args, config)
+    finally:
+        if tracer is not None:
+            if args.trace_out:
+                count = obs.write_jsonl(tracer, args.trace_out)
+                print(f"\nwrote {count} spans to {args.trace_out}")
+            if args.verbose:
+                print("\n--- span summary (real seconds) ---")
+                print(obs.summary_table(tracer))
+                print("\n--- metrics ---")
+                print(obs.metrics_table(obs.get_registry()))
+            obs.disable()
+
+    print(f"\ntotal wall time: {time.time() - started:.1f}s")
+    return 0
+
+
+def _run_benches(args, config) -> None:
     _banner("Figure 1: effect of dynamic factor on query cost")
     fig1 = run_figure1(config)
     print(f"query: {FIGURE1_SQL}")
@@ -70,15 +120,18 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     print(f"swing: {fig1.swing:.1f}x   (paper: 3.80 s -> 124.02 s, ~33x)")
+    _bench_done("figure1")
 
     _banner("Table 4: multi-state cost models")
     print(render_table4(run_table4(config)))
+    _bench_done("table4")
 
     _banner("Table 5: statistics for cost models")
     rows = run_table5(config)
     print(render_table5(rows))
     violations = shape_violations(rows)
     print(f"shape violations: {violations or 'none'}")
+    _bench_done("table5")
 
     _banner("Figures 4-9: observed vs estimated costs for test queries")
     for number in sorted(FIGURE_LAYOUT):
@@ -91,31 +144,35 @@ def main(argv: list[str] | None = None) -> int:
             f"normalized RMS error: multi-states {err_multi:.3f} vs "
             f"one-state {err_one:.3f}\n"
         )
+    _bench_done("figures4_9")
 
     _banner("Table 6 + Figure 10: IUPMA vs ICMA under clustered contention")
     table6 = run_table6(config)
     print(render_table6(table6))
     print()
     print(render_figure10(table6))
+    _bench_done("table6")
 
     _banner("Ablation: number of contention states (§5 observation 4)")
     print(render_states_ablation(run_states_ablation(config)))
     print("paper (G2/Oracle, 1..6 states): 0.7788 0.9636 0.9674 0.9899 0.9922")
+    _bench_done("states_ablation")
 
     _banner("Ablation: qualitative model forms (paper Table 2 / §3.2)")
     print(render_model_forms(run_model_forms(config)))
+    _bench_done("model_forms")
 
     _banner("Ablation: observed vs estimated probing costs (§3.3 eq. (2))")
     print(render_probing_estimation(run_probing_estimation(config)))
+    _bench_done("probing_estimation")
 
     _banner("End-to-end: plan quality with multi-states vs one-state models")
     print(render_plan_quality(run_plan_quality(config)))
+    _bench_done("plan_quality")
 
     _banner("Ablation: sample size (Proposition 4.1 / eq. (4))")
     print(render_sample_size_ablation(run_sample_size_ablation(config)))
-
-    print(f"\ntotal wall time: {time.time() - started:.1f}s")
-    return 0
+    _bench_done("sample_size_ablation")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import zlib
 
 import numpy as np
 
+from .. import obs
 from ..core.builder import BuildOutcome, CostModelBuilder
 from ..core.classification import QueryClass
 from ..core.model import MultiStateCostModel
@@ -111,6 +112,24 @@ def run_class_experiment(
     algorithm: str = "iupma",
 ) -> ClassExperimentResult:
     """Derive and validate the three models for one (profile, class)."""
+    with obs.span(
+        "experiments.class_experiment",
+        profile=profile.name,
+        query_class=query_class.label,
+        algorithm=algorithm,
+    ):
+        return _run_class_experiment(
+            profile, query_class, config, environment_kind, algorithm
+        )
+
+
+def _run_class_experiment(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    environment_kind: str,
+    algorithm: str,
+) -> ClassExperimentResult:
     seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
     dynamic = make_site(
         f"{profile.name}_dyn",
@@ -216,7 +235,10 @@ def cached_class_experiment(
         config.test_count,
         config.join_tables,
     )
-    if key not in _CACHE:
+    if key in _CACHE:
+        obs.inc("experiments.cache.hits")
+    else:
+        obs.inc("experiments.cache.misses")
         _CACHE[key] = run_class_experiment(
             profile, query_class, config, environment_kind, algorithm
         )
@@ -225,6 +247,26 @@ def cached_class_experiment(
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def cache_stats() -> tuple[int, int]:
+    """(hits, misses) of the class-experiment cache so far this process."""
+    registry = obs.get_registry()
+    return (
+        int(registry.counter_value("experiments.cache.hits")),
+        int(registry.counter_value("experiments.cache.misses")),
+    )
+
+
+def cache_summary() -> str:
+    """A one-line description of cache behaviour (for bench logs)."""
+    hits, misses = cache_stats()
+    lookups = hits + misses
+    rate = 100.0 * hits / lookups if lookups else 0.0
+    return (
+        f"[experiment cache] {hits} hits / {misses} misses "
+        f"({lookups} lookups, {rate:.0f}% hit rate, {len(_CACHE)} entries)"
+    )
 
 
 def collect_for_algorithm(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from .. import obs
 from ..core.classification import QueryClass, classify
 from ..core.probing import ProbingCostEstimator, ProbingQuery, default_probing_query
 from ..engine.database import LocalDatabase, QueryResult
@@ -51,7 +52,11 @@ class MDBSAgent:
 
     def execute(self, query: Query | str) -> QueryResult:
         """Run a local query and return rows + observed elapsed time."""
-        return self.database.execute(query)
+        with obs.span("mdbs.agent.execute", site=self.site) as sp:
+            result = self.database.execute(query)
+            if sp.recording:
+                sp.set_attribute("simulated_seconds", result.elapsed)
+        return result
 
     def classify(self, query: Query | str) -> QueryClass:
         """Predict the query class the local system will use."""
@@ -61,7 +66,12 @@ class MDBSAgent:
 
     def observed_probing_cost(self) -> float:
         """Execute the probing query; its cost gauges the contention level."""
-        return self.probe.observe()
+        with obs.span("mdbs.probe", site=self.site, mode="observed") as sp:
+            cost = self.probe.observe()
+            if sp.recording:
+                sp.set_attribute("probing_cost", cost)
+        obs.inc("mdbs.probes.observed")
+        return cost
 
     def estimated_probing_cost(self) -> float:
         """Estimate the probing cost from system statistics (paper eq. (2)).
@@ -73,7 +83,12 @@ class MDBSAgent:
             raise RuntimeError(
                 f"agent for {self.site} has no calibrated probing-cost estimator"
             )
-        return self.estimator.estimate(self.monitor.statistics())
+        with obs.span("mdbs.probe", site=self.site, mode="estimated") as sp:
+            cost = self.estimator.estimate(self.monitor.statistics())
+            if sp.recording:
+                sp.set_attribute("probing_cost", cost)
+        obs.inc("mdbs.probes.estimated")
+        return cost
 
     def probing_cost(self, prefer_estimated: bool = False) -> float:
         """Current probing cost, estimated when requested and possible."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.model import MultiStateCostModel
 from ..engine.query import JoinQuery
 from .agent import MDBSAgent
@@ -91,7 +92,14 @@ class MDBSServer:
 
     def optimize(self, query: GlobalJoinQuery) -> GlobalPlan:
         """Pick the cheapest join site for *query*."""
-        return self.optimizer().choose(query)
+        with obs.span("mdbs.optimize") as sp:
+            plan = self.optimizer().choose(query)
+            if sp.recording:
+                sp.set_attributes(
+                    join_site=plan.join_site,
+                    estimated_seconds=plan.estimated_seconds,
+                )
+        return plan
 
     # -- execution -----------------------------------------------------------------
 
@@ -99,37 +107,62 @@ class MDBSServer:
         self, query: GlobalJoinQuery, plan: GlobalPlan | None = None
     ) -> GlobalExecution:
         """Execute *query* (optimizing first unless a plan is supplied)."""
-        plan = plan or self.optimize(query)
+        with obs.span(
+            "mdbs.execute",
+            left=f"{query.left_site}.{query.left_table}",
+            right=f"{query.right_site}.{query.right_table}",
+        ) as root:
+            plan = plan or self.optimize(query)
+            execution = self._execute_plan(query, plan)
+            obs.inc("mdbs.global_queries")
+            obs.set_gauge("mdbs.last_estimated_seconds", execution.estimated_seconds)
+            obs.set_gauge("mdbs.last_observed_seconds", execution.observed_seconds)
+            if root.recording:
+                root.set_attributes(
+                    join_site=plan.join_site,
+                    estimated_seconds=execution.estimated_seconds,
+                    observed_seconds=execution.observed_seconds,
+                    cardinality=execution.cardinality,
+                )
+        return execution
+
+    def _execute_plan(
+        self, query: GlobalJoinQuery, plan: GlobalPlan
+    ) -> GlobalExecution:
         components = plan.components
         left_agent = self.agents[query.left_site]
         right_agent = self.agents[query.right_site]
 
         steps: list[StepTiming] = []
-        left_result = left_agent.execute(components.left)
-        steps.append(
-            StepTiming(
-                f"select {query.left_table} at {query.left_site}", left_result.elapsed
+        with obs.span("mdbs.step.select", site=query.left_site) as sp:
+            left_result = left_agent.execute(components.left)
+            self._record_step(
+                steps,
+                sp,
+                f"select {query.left_table} at {query.left_site}",
+                left_result.elapsed,
             )
-        )
-        right_result = right_agent.execute(components.right)
-        steps.append(
-            StepTiming(
+        with obs.span("mdbs.step.select", site=query.right_site) as sp:
+            right_result = right_agent.execute(components.right)
+            self._record_step(
+                steps,
+                sp,
                 f"select {query.right_table} at {query.right_site}",
                 right_result.elapsed,
             )
-        )
 
         if plan.join_site == "right":
             join_agent, shipped, local = right_agent, left_result, right_result
         else:
             join_agent, shipped, local = left_agent, right_result, left_result
-        transfer = self.network.transfer_seconds(shipped.result.table_length)
-        steps.append(
-            StepTiming(
+        with obs.span("mdbs.step.ship", to_site=join_agent.site) as sp:
+            transfer = self.network.transfer_seconds(shipped.result.table_length)
+            self._record_step(
+                steps,
+                sp,
                 f"ship {shipped.result.cardinality} tuples to {join_agent.site}",
                 transfer,
             )
-        )
 
         left_facts = self.catalog.table(query.left_site, query.left_table)
         right_facts = self.catalog.table(query.right_site, query.right_table)
@@ -150,10 +183,11 @@ class MDBSServer:
                 components.left.columns[components.left_join_position],
                 components.right.columns[components.right_join_position],
             )
-            join_result = join_agent.execute(join_query)
-            steps.append(
-                StepTiming(f"join at {join_agent.site}", join_result.elapsed)
-            )
+            with obs.span("mdbs.step.join", site=join_agent.site) as sp:
+                join_result = join_agent.execute(join_query)
+                self._record_step(
+                    steps, sp, f"join at {join_agent.site}", join_result.elapsed
+                )
             column_names, rows = self._project_output(
                 query, components, join_result
             )
@@ -164,6 +198,21 @@ class MDBSServer:
         return GlobalExecution(
             plan=plan, column_names=column_names, rows=rows, steps=steps
         )
+
+    @staticmethod
+    def _record_step(
+        steps: list[StepTiming], span, description: str, seconds: float
+    ) -> None:
+        """One plan step: a StepTiming for callers, span attributes for
+        the trace, and a histogram point for the registry.
+
+        The span's own duration is real wall-clock work; *seconds* is the
+        step's *simulated* elapsed time (what the cost models predict).
+        """
+        steps.append(StepTiming(description, seconds))
+        if span.recording:
+            span.set_attributes(description=description, simulated_seconds=seconds)
+        obs.observe("mdbs.step_seconds", seconds)
 
     def _project_output(self, query, components, join_result):
         """Map temp-qualified join output back to the requested columns."""

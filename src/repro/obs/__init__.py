@@ -1,0 +1,113 @@
+"""repro.obs — tracing + metrics observability for the whole stack.
+
+The substrate every performance question lands on: *where did the time
+and the work actually go?*  Three pieces:
+
+* :mod:`repro.obs.metrics` — a global, always-live
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  streaming histograms, cheap enough to record from per-query hot
+  paths;
+* :mod:`repro.obs.tracing` — nested, context-managed spans recorded by
+  a thread-safe :class:`~repro.obs.tracing.Tracer`.  The global default
+  is a no-op tracer, so the instrumentation baked into the engine,
+  builder, and MDBS layers costs ~nothing until :func:`enable` (or the
+  scoped :func:`recording`) installs a real one;
+* :mod:`repro.obs.export` — JSONL trace dumps and per-span-name /
+  per-metric summary tables.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.enable()
+    server.execute(global_query)          # instrumented internally
+    print(obs.summary_table(tracer))      # where did the time go?
+    obs.write_jsonl(tracer, "trace.jsonl")
+    print(obs.metrics_table(obs.get_registry()))
+    obs.disable()
+
+Instrumented call sites use the module-level helpers (:func:`span`,
+:func:`inc`, :func:`observe`, :func:`set_gauge`) so they always hit the
+currently installed tracer/registry.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    metrics_table,
+    span_to_dict,
+    summary_table,
+    to_jsonl,
+    tree_lines,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    recording,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "recording",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+    # export
+    "span_to_dict",
+    "to_jsonl",
+    "write_jsonl",
+    "summary_table",
+    "metrics_table",
+    "tree_lines",
+]
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter in the global registry."""
+    get_registry().inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a value into a histogram in the global registry."""
+    get_registry().observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge in the global registry."""
+    get_registry().set_gauge(name, value)

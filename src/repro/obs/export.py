@@ -1,0 +1,158 @@
+"""Exporters: JSONL trace dumps and human-readable summary tables.
+
+Two consumers, two formats:
+
+* :func:`write_jsonl` — one JSON object per span, for offline analysis
+  (the dicts round-trip through ``json.loads`` and reference each other
+  via ``span_id``/``parent_id``, so a trace tree is reconstructable);
+* :func:`summary_table` — a per-span-name aggregate (count, total,
+  mean, p50, p95 of real durations) for a quick "where did the time
+  go?" read at the end of a run.
+
+:func:`metrics_table` renders a registry snapshot the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .metrics import MetricsRegistry, quantile
+from .tracing import Span, Tracer
+
+
+def _spans_of(source: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.finished()
+    return list(source)
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """A JSON-serializable view of one span."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "thread": span.thread,
+        "attributes": dict(span.attributes),
+    }
+
+
+def to_jsonl(source: Tracer | Iterable[Span]) -> str:
+    """The whole trace as JSON-lines text (one span per line)."""
+    return "".join(
+        json.dumps(span_to_dict(span), default=str) + "\n"
+        for span in _spans_of(source)
+    )
+
+
+def write_jsonl(source: Tracer | Iterable[Span], path: str | Path) -> int:
+    """Dump the trace to *path*; returns the number of spans written."""
+    spans = _spans_of(source)
+    Path(path).write_text(to_jsonl(spans), encoding="utf-8")
+    return len(spans)
+
+
+def summary_table(
+    source: Tracer | Iterable[Span], sort_by: str = "total"
+) -> str:
+    """Aggregate spans by name into a fixed-width table.
+
+    *sort_by* is one of ``"total"``, ``"count"``, or ``"name"``.
+    """
+    groups: dict[str, list[float]] = {}
+    for span in _spans_of(source):
+        groups.setdefault(span.name, []).append(span.duration)
+    if not groups:
+        return "(no spans recorded)"
+
+    rows = []
+    for name, durations in groups.items():
+        durations.sort()
+        rows.append(
+            (
+                name,
+                len(durations),
+                sum(durations),
+                sum(durations) / len(durations),
+                quantile(durations, 0.5),
+                quantile(durations, 0.95),
+            )
+        )
+    if sort_by == "name":
+        rows.sort(key=lambda r: r[0])
+    elif sort_by == "count":
+        rows.sort(key=lambda r: r[1], reverse=True)
+    elif sort_by == "total":
+        rows.sort(key=lambda r: r[2], reverse=True)
+    else:
+        raise ValueError(f"unknown sort_by {sort_by!r}")
+
+    width = max(len("span"), *(len(r[0]) for r in rows))
+    header = (
+        f"{'span':<{width}}  {'count':>7}  {'total_s':>10}  "
+        f"{'mean_s':>10}  {'p50_s':>10}  {'p95_s':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, count, total, mean, p50, p95 in rows:
+        lines.append(
+            f"{name:<{width}}  {count:>7}  {total:>10.4f}  "
+            f"{mean:>10.6f}  {p50:>10.6f}  {p95:>10.6f}"
+        )
+    return "\n".join(lines)
+
+
+def metrics_table(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot as aligned ``name  kind  value`` rows."""
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len("metric"), *(len(name) for name in snapshot))
+    lines = [f"{'metric':<{width}}  {'kind':<9}  value"]
+    lines.append("-" * len(lines[0]))
+    for name, entry in snapshot.items():
+        kind = entry["kind"]
+        if kind == "histogram":
+            value = (
+                f"n={entry['count']} mean={_fmt(entry.get('mean'))} "
+                f"p50={_fmt(entry.get('p50'))} p95={_fmt(entry.get('p95'))} "
+                f"max={_fmt(entry.get('max'))}"
+            )
+        else:
+            value = _fmt(entry["value"])
+        lines.append(f"{name:<{width}}  {kind:<9}  {value}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def tree_lines(spans: Sequence[Span]) -> list[str]:
+    """Render a finished span list as an indented call tree (debug aid)."""
+    spans = list(spans)
+    children: dict[int | None, list[Span]] = {}
+    for span in sorted(spans, key=lambda s: s.start):
+        children.setdefault(span.parent_id, []).append(span)
+    ids = {span.span_id for span in spans}
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for span in children.get(parent, []):
+            lines.append(f"{'  ' * depth}{span.name}  {span.duration:.6f}s")
+            walk(span.span_id, depth + 1)
+
+    # Roots: spans with no parent, or whose parent is not in this batch.
+    for span in sorted(spans, key=lambda s: s.start):
+        if span.parent_id is None or span.parent_id not in ids:
+            lines.append(f"{span.name}  {span.duration:.6f}s")
+            walk(span.span_id, 1)
+    return lines

@@ -1,0 +1,240 @@
+"""Span tracing: nested, context-managed spans with attributes.
+
+A :class:`Tracer` records :class:`Span` trees — one span per unit of
+work, nested via a per-thread stack so a span started while another is
+open becomes its child.  The module-level default tracer is a
+:class:`NoopTracer` whose :meth:`~NoopTracer.span` returns a shared
+do-nothing singleton, so instrumentation left in hot paths costs a
+single function call and an empty ``with`` block when tracing is
+disabled.  Enable recording globally with :func:`enable` (or scoped with
+:func:`recording`), then export the finished spans with
+:mod:`repro.obs.export`.
+
+Span start/end times come from ``time.perf_counter`` by default — they
+measure *real* wall-clock work, not the simulated clock of
+:mod:`repro.env`.  Simulated durations (e.g. a plan step's modeled
+elapsed seconds) are attached as span attributes by the instrumented
+code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One traced unit of work.
+
+    Spans are context managers: entering records the start time and the
+    parent (the innermost open span on the same thread), exiting records
+    the end time and hands the span to the tracer's finished list.
+    """
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    span_id: int = field(default_factory=lambda: next(_span_ids))
+    parent_id: int | None = None
+    start: float = 0.0
+    end: float | None = None
+    thread: str = ""
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    #: Distinguishes a live span from the no-op singleton without an
+    #: isinstance check in hot paths.
+    recording = True
+
+    @property
+    def duration(self) -> float:
+        """Elapsed real seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._start(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+    recording = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: every span is the shared no-op singleton."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def finished(self) -> list[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """A recording tracer with per-thread span stacks.
+
+    Thread-safe: each thread nests spans on its own stack (so parentage
+    never crosses threads), and the finished list is lock-protected.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create a span; enter it (``with``) to start the clock."""
+        return Span(name=name, attributes=attributes, _tracer=self)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _start(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        span.thread = threading.current_thread().name
+        stack.append(span)
+        span.start = self._clock()
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        # Normally a strict LIFO pop; tolerate out-of-order exits.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    # -- inspection -------------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> list[Span]:
+        """A snapshot of all completed spans (finish order)."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep recording)."""
+        with self._lock:
+            self._finished.clear()
+
+
+# ---------------------------------------------------------------------------
+# The global tracer
+# ---------------------------------------------------------------------------
+
+_active_tracer: Tracer | NoopTracer = NOOP_TRACER
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    return _active_tracer
+
+
+def set_tracer(tracer: Tracer | NoopTracer) -> Tracer | NoopTracer:
+    """Install *tracer* globally; returns the previous one."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer
+    return previous
+
+
+def enable(clock: Callable[[], float] = time.perf_counter) -> Tracer:
+    """Install (and return) a fresh recording tracer."""
+    tracer = Tracer(clock)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Restore the no-op default."""
+    set_tracer(NOOP_TRACER)
+
+
+def enabled() -> bool:
+    return _active_tracer.enabled
+
+
+def span(name: str, **attributes: Any) -> Span | _NoopSpan:
+    """A span from the global tracer (the one instrumentation calls)."""
+    return _active_tracer.span(name, **attributes)
+
+
+@contextmanager
+def recording(clock: Callable[[], float] = time.perf_counter) -> Iterator[Tracer]:
+    """Scoped tracing: record within the block, then restore the
+    previously installed tracer."""
+    tracer = Tracer(clock)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -134,16 +134,28 @@ class TestSampleSizeAblation:
 
 
 class TestHarnessCache:
-    def test_cached_class_experiment_memoizes(self):
+    def test_cached_class_experiment_memoizes_and_counts(self):
+        from repro import obs
         from repro.experiments.harness import (
+            cache_stats,
+            cache_summary,
             cached_class_experiment,
             clear_cache,
         )
 
-        clear_cache()
-        a = cached_class_experiment(ORACLE_LIKE, G1, TINY)
-        b = cached_class_experiment(ORACLE_LIKE, G1, TINY)
-        assert a is b
-        different = cached_class_experiment(ORACLE_LIKE, G1, TINY.with_seed(99))
-        assert different is not a
-        clear_cache()
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            clear_cache()
+            a = cached_class_experiment(ORACLE_LIKE, G1, TINY)
+            b = cached_class_experiment(ORACLE_LIKE, G1, TINY)
+            assert a is b
+            different = cached_class_experiment(ORACLE_LIKE, G1, TINY.with_seed(99))
+            assert different is not a
+            # Cache behaviour is no longer silent: 1 hit, 2 misses.
+            assert cache_stats() == (1, 2)
+            line = cache_summary()
+            assert "1 hits / 2 misses" in line and "3 lookups" in line
+        finally:
+            obs.set_registry(previous)
+            clear_cache()

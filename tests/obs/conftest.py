@@ -1,0 +1,21 @@
+"""Fixtures for observability tests: isolated global tracer/registry."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty global registry for the test, restore after."""
+    registry = obs.MetricsRegistry()
+    previous = obs.set_registry(registry)
+    yield registry
+    obs.set_registry(previous)
+
+
+@pytest.fixture
+def tracer():
+    """A recording global tracer for the test, restored after."""
+    with obs.recording() as t:
+        yield t

@@ -1,0 +1,123 @@
+"""Unit tests for the trace/metrics exporters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    metrics_table,
+    summary_table,
+    to_jsonl,
+    tree_lines,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def record_small_trace(tracer):
+    with obs.span("outer", site="A"):
+        with obs.span("inner"):
+            pass
+        with obs.span("inner"):
+            pass
+    return tracer.finished()
+
+
+class TestJsonl:
+    def test_round_trips_through_json(self, tracer):
+        spans = record_small_trace(tracer)
+        lines = to_jsonl(spans).strip().splitlines()
+        assert len(lines) == 3
+        decoded = [json.loads(line) for line in lines]
+        for entry in decoded:
+            assert set(entry) == {
+                "name",
+                "span_id",
+                "parent_id",
+                "start",
+                "end",
+                "duration",
+                "thread",
+                "attributes",
+            }
+            assert entry["end"] >= entry["start"]
+
+    def test_parent_links_resolve(self, tracer):
+        spans = record_small_trace(tracer)
+        decoded = [json.loads(line) for line in to_jsonl(spans).splitlines()]
+        ids = {e["span_id"] for e in decoded}
+        for entry in decoded:
+            assert entry["parent_id"] is None or entry["parent_id"] in ids
+        roots = [e for e in decoded if e["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["outer"]
+        assert roots[0]["attributes"] == {"site": "A"}
+
+    def test_write_jsonl_returns_span_count(self, tracer, tmp_path):
+        spans = record_small_trace(tracer)
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(spans, path) == 3
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_accepts_tracer_directly(self, tracer):
+        record_small_trace(tracer)
+        assert len(to_jsonl(tracer).splitlines()) == 3
+
+    def test_non_json_attribute_values_stringified(self, tracer):
+        with obs.span("s", obj=object()):
+            pass
+        (line,) = to_jsonl(tracer).splitlines()
+        assert "object object" in json.loads(line)["attributes"]["obj"]
+
+
+class TestSummaryTable:
+    def test_aggregates_per_name(self, tracer):
+        record_small_trace(tracer)
+        table = summary_table(tracer)
+        assert "span" in table and "count" in table and "p95_s" in table
+        inner_row = next(l for l in table.splitlines() if l.startswith("inner"))
+        assert inner_row.split()[1] == "2"
+        outer_row = next(l for l in table.splitlines() if l.startswith("outer"))
+        assert outer_row.split()[1] == "1"
+
+    def test_sort_modes(self, tracer):
+        record_small_trace(tracer)
+        by_name = summary_table(tracer, sort_by="name").splitlines()[2:]
+        assert [row.split()[0] for row in by_name] == ["inner", "outer"]
+        by_count = summary_table(tracer, sort_by="count").splitlines()[2:]
+        assert by_count[0].startswith("inner")
+        # "total": outer contains both inners, so it sorts first.
+        by_total = summary_table(tracer, sort_by="total").splitlines()[2:]
+        assert by_total[0].startswith("outer")
+
+    def test_unknown_sort_rejected(self, tracer):
+        record_small_trace(tracer)
+        with pytest.raises(ValueError):
+            summary_table(tracer, sort_by="zebra")
+
+    def test_empty_trace(self):
+        assert summary_table([]) == "(no spans recorded)"
+
+
+class TestMetricsTable:
+    def test_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.inc("queries", 3)
+        registry.set_gauge("level", 0.5)
+        registry.observe("elapsed", 1.0)
+        table = metrics_table(registry)
+        assert "queries" in table and "counter" in table
+        assert "level" in table and "gauge" in table
+        assert "elapsed" in table and "histogram" in table and "p95=" in table
+
+    def test_empty_registry(self):
+        assert metrics_table(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestTreeLines:
+    def test_indentation_follows_parentage(self, tracer):
+        record_small_trace(tracer)
+        lines = tree_lines(tracer.finished())
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert lines[2].startswith("  inner")

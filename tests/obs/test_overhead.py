@@ -1,0 +1,57 @@
+"""Guard: disabled (no-op) instrumentation is ~free on engine hot paths."""
+
+import time
+
+from repro import obs
+
+
+def best_of(runs, fn):
+    """Minimum per-iteration time over several runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(runs):
+        best = min(best, fn())
+    return best
+
+
+class TestNoopOverhead:
+    def test_disabled_tracer_under_5pct_of_tight_engine_loop(self, small_database):
+        """The no-op span machinery must cost < 5% of one engine query.
+
+        ``LocalDatabase.execute`` contains a single span call site (plus
+        always-on counter updates that exist regardless of tracing), so
+        the disabled-tracer overhead per query is one no-op ``with``
+        block.  We budget for 3 of them: headroom for denser future
+        instrumentation without making the bound so tight that scheduler
+        noise under a full-suite run can trip it.
+        """
+        assert not obs.enabled()
+        query = small_database.parse("select a from t1 where a < 100")
+        for _ in range(10):  # warmup
+            small_database.execute(query)
+
+        def time_engine():
+            n = 60
+            started = time.perf_counter()
+            for _ in range(n):
+                small_database.execute(query)
+            return (time.perf_counter() - started) / n
+
+        def time_noop_span():
+            n = 20_000
+            started = time.perf_counter()
+            for _ in range(n):
+                with obs.span("overhead-probe"):
+                    pass
+            return (time.perf_counter() - started) / n
+
+        engine_seconds = best_of(3, time_engine)
+        noop_seconds = best_of(3, time_noop_span)
+        assert noop_seconds * 3 < 0.05 * engine_seconds, (
+            f"no-op span costs {noop_seconds * 1e6:.2f}us; tight engine loop "
+            f"iteration is {engine_seconds * 1e6:.1f}us — budget exceeded"
+        )
+
+    def test_noop_span_allocates_nothing_new(self):
+        first = obs.span("a", x=1)
+        second = obs.span("b")
+        assert first is second  # the shared singleton

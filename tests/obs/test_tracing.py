@@ -1,0 +1,164 @@
+"""Unit tests for the span tracer: nesting, attributes, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NOOP_SPAN, NoopTracer, Tracer
+
+
+class TestNoopDefault:
+    def test_default_tracer_is_disabled(self):
+        assert isinstance(obs.get_tracer(), NoopTracer)
+        assert not obs.enabled()
+
+    def test_span_is_shared_noop_singleton(self):
+        with obs.span("anything", key="value") as sp:
+            assert sp is NOOP_SPAN
+            assert not sp.recording
+            sp.set_attribute("x", 1)  # silently ignored
+            sp.set_attributes(y=2)
+        assert obs.get_tracer().finished() == []
+
+    def test_noop_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestEnableDisable:
+    def test_enable_installs_recording_tracer(self):
+        try:
+            tracer = obs.enable()
+            assert obs.get_tracer() is tracer
+            assert obs.enabled()
+            with obs.span("unit"):
+                pass
+            assert [s.name for s in tracer.finished()] == ["unit"]
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+
+    def test_recording_restores_previous_tracer(self):
+        before = obs.get_tracer()
+        with obs.recording() as tracer:
+            assert obs.get_tracer() is tracer
+        assert obs.get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.set_tracer(previous)
+
+
+class TestSpanRecording:
+    def test_nested_parentage(self, tracer):
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                with obs.span("grandchild") as grand:
+                    pass
+            with obs.span("sibling") as sibling:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        # Finish order is innermost-first.
+        assert [s.name for s in tracer.finished()] == [
+            "grandchild",
+            "child",
+            "sibling",
+            "root",
+        ]
+
+    def test_attributes_at_creation_and_later(self, tracer):
+        with obs.span("s", site="A") as sp:
+            assert sp.recording
+            sp.set_attribute("rows", 10)
+            sp.set_attributes(plan="seq_scan", pages=3)
+        (span,) = tracer.finished()
+        assert span.attributes == {
+            "site": "A",
+            "rows": 10,
+            "plan": "seq_scan",
+            "pages": 3,
+        }
+
+    def test_duration_is_positive_after_exit(self, tracer):
+        with obs.span("s") as sp:
+            assert sp.duration == 0.0  # still open
+        assert sp.end is not None
+        assert sp.end >= sp.start
+        assert sp.duration >= 0.0
+
+    def test_exception_marks_span_and_still_finishes(self, tracer):
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.finished()
+        assert span.attributes["error"] == "ValueError"
+        assert span.end is not None
+        # The stack is clean: a new span is a root, not a child.
+        with obs.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current() is None
+        with obs.span("outer") as outer:
+            assert tracer.current() is outer
+            with obs.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_reset_drops_finished_spans(self, tracer):
+        with obs.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished() == []
+
+    def test_span_ids_are_unique(self, tracer):
+        for _ in range(50):
+            with obs.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestThreadSafety:
+    def test_parentage_never_crosses_threads(self, tracer):
+        n_threads, per_thread = 6, 40
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                with obs.span(f"root-{tid}"):
+                    with obs.span(f"child-{tid}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        spans = tracer.finished()
+        assert len(spans) == n_threads * per_thread * 2
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            tid = span.name.split("-")[1]
+            if span.name.startswith("root-"):
+                assert span.parent_id is None
+            else:
+                parent = by_id[span.parent_id]
+                # A child's parent was opened by the same thread.
+                assert parent.name == f"root-{tid}"
+                assert parent.thread == span.thread
