@@ -58,11 +58,18 @@ class BuilderConfig:
 
 @dataclass
 class BuildOutcome:
-    """A derived model plus everything produced along the way."""
+    """A derived model plus everything produced along the way.
+
+    ``selection`` and ``determination`` are derivation provenance: they
+    are populated by a live build, but outcomes restored from the
+    on-disk experiment cache carry ``None`` there (only the model,
+    observations, and timings are persisted — see
+    :mod:`repro.experiments.serialize`).
+    """
 
     model: MultiStateCostModel
     observations: list[Observation]
-    selection: SelectionResult
+    selection: SelectionResult | None
     determination: StateDeterminationResult | None
     #: Real (wall-clock) seconds spent in each pipeline phase, in
     #: pipeline order — the model's derivation cost.

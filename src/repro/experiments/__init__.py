@@ -4,7 +4,8 @@ One module per experiment (see DESIGN.md's per-experiment index); the
 benchmarks under ``benchmarks/`` are thin drivers over these runners.
 """
 
-from .config import ExperimentConfig, full, quick
+from .cache import DiskCache, default_cache_dir, task_digest
+from .config import ExperimentConfig, full, quick, tiny
 from .figure1 import FIGURE1_SQL, Figure1Result, run_figure1
 from .figures4_9 import (
     FIGURE_LAYOUT,
@@ -17,10 +18,21 @@ from .figures4_9 import (
 from .harness import (
     ClassExperimentResult,
     TestPoint,
+    cache_stats,
+    cache_summary,
     cached_class_experiment,
     clear_cache,
     collect_for_algorithm,
     run_class_experiment,
+    set_disk_cache,
+    stable_seed,
+)
+from .runner import (
+    ExperimentTask,
+    RunnerReport,
+    enumerate_class_tasks,
+    run_experiments,
+    task_seed,
 )
 from .model_forms import ModelFormsResult, render_model_forms, run_model_forms
 from .plan_quality import (
@@ -57,7 +69,9 @@ from .table6 import (
 
 __all__ = [
     "ClassExperimentResult",
+    "DiskCache",
     "ExperimentConfig",
+    "ExperimentTask",
     "FIGURE1_SQL",
     "FIGURE_LAYOUT",
     "Figure1Result",
@@ -70,19 +84,30 @@ __all__ = [
     "StatesAblationResult",
     "TABLE4_CLASSES",
     "TABLE4_PROFILES",
+    "RunnerReport",
     "Table4Row",
     "Table5Row",
     "Table6Result",
     "Table6Row",
     "TestPoint",
     "ascii_histogram",
+    "cache_stats",
+    "cache_summary",
     "cached_class_experiment",
     "clear_cache",
     "collect_for_algorithm",
+    "default_cache_dir",
+    "enumerate_class_tasks",
     "format_series",
     "format_table",
     "full",
     "quick",
+    "run_experiments",
+    "set_disk_cache",
+    "stable_seed",
+    "task_digest",
+    "task_seed",
+    "tiny",
     "render_figure",
     "render_figure10",
     "render_model_forms",

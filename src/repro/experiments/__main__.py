@@ -2,15 +2,28 @@
 
 Usage::
 
-    python -m repro.experiments            # quick preset (minutes)
-    python -m repro.experiments --full     # paper-sized preset (slower)
-    python -m repro.experiments --seed 42  # different random universe
+    python -m repro.experiments                  # quick preset (minutes)
+    python -m repro.experiments --preset full    # paper-sized preset (slower)
+    python -m repro.experiments --jobs 4         # fan class experiments out
+    python -m repro.experiments --seed 42        # different random universe
+    python -m repro.experiments --only table4 --only table5
     python -m repro.experiments --trace-out trace.jsonl --verbose
 
 Prints each artifact in order — Figure 1, Tables 4–6, Figures 4–10, the
 state-count / model-form / probing-estimation / sample-size ablations,
 and the end-to-end plan-quality experiment — with the paper's reference
 numbers alongside, so the output can be diffed against EXPERIMENTS.md.
+Artifacts go to **stdout**; every diagnostic (cache summaries, runner
+progress, wall time) goes to **stderr**, so stdout is byte-identical
+across ``--jobs`` settings and cache temperatures.
+
+``--jobs N`` runs the expensive class experiments (the unit behind
+Tables 4–5 and Figures 4–9) across an N-worker process pool before the
+benches print; each task is seeded from its stable key, so the output
+matches ``--jobs 1`` exactly.  Results persist in a content-addressed
+cache under ``~/.cache/repro-experiments`` (override with
+``--cache-dir``; disable with ``--no-cache``; drop stale entries with
+``--clear-cache``), so interrupted runs resume for free.
 
 ``--trace-out PATH`` records a full observability trace of the run and
 writes it as JSONL at exit; ``--verbose`` prints the per-span summary
@@ -24,14 +37,16 @@ import sys
 import time
 
 from .. import obs
-from .config import full, quick
-from .harness import cache_summary
+from .cache import DiskCache, default_cache_dir
+from .config import full, quick, tiny
+from .harness import cache_summary, set_disk_cache
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
 from .model_forms import render_model_forms, run_model_forms
 from .plan_quality import render_plan_quality, run_plan_quality
 from .probing_estimation import render_probing_estimation, run_probing_estimation
 from .report import format_series
+from .runner import enumerate_class_tasks, run_experiments
 from .sample_size_ablation import (
     render_sample_size_ablation,
     run_sample_size_ablation,
@@ -41,6 +56,8 @@ from .table4 import render_table4, run_table4
 from .table5 import render_table5, run_table5, shape_violations
 from .table6 import render_figure10, render_table6, run_table6
 
+_PRESETS = {"tiny": tiny, "quick": quick, "full": full}
+
 
 def _banner(title: str) -> None:
     print()
@@ -49,9 +66,104 @@ def _banner(title: str) -> None:
     print("=" * 72)
 
 
+def _note(message: str) -> None:
+    """Diagnostics go to stderr so stdout stays a pure artifact stream."""
+    print(message, file=sys.stderr)
+
+
 def _bench_done(name: str) -> None:
     """One-line cache report after each bench run."""
-    print(f"[{name} done] {cache_summary()}")
+    _note(f"[{name} done] {cache_summary()}")
+
+
+def _bench_figure1(config) -> None:
+    _banner("Figure 1: effect of dynamic factor on query cost")
+    fig1 = run_figure1(config)
+    print(f"query: {FIGURE1_SQL}")
+    print(
+        format_series(
+            [float(p) for p in fig1.process_counts],
+            {"cost_seconds": fig1.costs},
+            x_label="concurrent_processes",
+        )
+    )
+    print(f"swing: {fig1.swing:.1f}x   (paper: 3.80 s -> 124.02 s, ~33x)")
+
+
+def _bench_table4(config) -> None:
+    _banner("Table 4: multi-state cost models")
+    print(render_table4(run_table4(config)))
+
+
+def _bench_table5(config) -> None:
+    _banner("Table 5: statistics for cost models")
+    rows = run_table5(config)
+    print(render_table5(rows))
+    violations = shape_violations(rows)
+    print(f"shape violations: {violations or 'none'}")
+
+
+def _bench_figures4_9(config) -> None:
+    _banner("Figures 4-9: observed vs estimated costs for test queries")
+    for number in sorted(FIGURE_LAYOUT):
+        figure = run_figure(number, config)
+        series = figure.series()
+        err_multi = tracking_error(series["observed"], series["multi_states"])
+        err_one = tracking_error(series["observed"], series["one_state"])
+        print(render_figure(figure, max_rows=10))
+        print(
+            f"normalized RMS error: multi-states {err_multi:.3f} vs "
+            f"one-state {err_one:.3f}\n"
+        )
+
+
+def _bench_table6(config) -> None:
+    _banner("Table 6 + Figure 10: IUPMA vs ICMA under clustered contention")
+    table6 = run_table6(config)
+    print(render_table6(table6))
+    print()
+    print(render_figure10(table6))
+
+
+def _bench_states_ablation(config) -> None:
+    _banner("Ablation: number of contention states (§5 observation 4)")
+    print(render_states_ablation(run_states_ablation(config)))
+    print("paper (G2/Oracle, 1..6 states): 0.7788 0.9636 0.9674 0.9899 0.9922")
+
+
+def _bench_model_forms(config) -> None:
+    _banner("Ablation: qualitative model forms (paper Table 2 / §3.2)")
+    print(render_model_forms(run_model_forms(config)))
+
+
+def _bench_probing_estimation(config) -> None:
+    _banner("Ablation: observed vs estimated probing costs (§3.3 eq. (2))")
+    print(render_probing_estimation(run_probing_estimation(config)))
+
+
+def _bench_plan_quality(config) -> None:
+    _banner("End-to-end: plan quality with multi-states vs one-state models")
+    print(render_plan_quality(run_plan_quality(config)))
+
+
+def _bench_sample_size(config) -> None:
+    _banner("Ablation: sample size (Proposition 4.1 / eq. (4))")
+    print(render_sample_size_ablation(run_sample_size_ablation(config)))
+
+
+#: Bench registry, in print order.  Names are the ``--only`` vocabulary.
+BENCHES: tuple[tuple[str, object], ...] = (
+    ("figure1", _bench_figure1),
+    ("table4", _bench_table4),
+    ("table5", _bench_table5),
+    ("figures4_9", _bench_figures4_9),
+    ("table6", _bench_table6),
+    ("states_ablation", _bench_states_ablation),
+    ("model_forms", _bench_model_forms),
+    ("probing_estimation", _bench_probing_estimation),
+    ("plan_quality", _bench_plan_quality),
+    ("sample_size_ablation", _bench_sample_size),
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,9 +171,47 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments", description=__doc__
     )
     parser.add_argument(
-        "--full", action="store_true", help="paper-sized sampling (slower)"
+        "--preset",
+        choices=sorted(_PRESETS),
+        default=None,
+        help="experiment scale (default: quick)",
     )
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="shorthand for --preset full",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run class experiments across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=f"experiment result cache root (default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache entirely",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop every cached experiment result before running",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=[name for name, _ in BENCHES],
+        metavar="BENCH",
+        help="run only the named bench (repeatable)",
+    )
     parser.add_argument(
         "--trace-out",
         metavar="PATH",
@@ -74,7 +224,14 @@ def main(argv: list[str] | None = None) -> int:
         help="print the span summary table and metrics at the end",
     )
     args = parser.parse_args(argv)
-    config = full(seed=args.seed) if args.full else quick(seed=args.seed)
+    if args.full and args.preset not in (None, "full"):
+        parser.error("--full contradicts --preset " + args.preset)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    preset = "full" if args.full else (args.preset or "quick")
+    make_config = _PRESETS[preset]
+    config = make_config(args.seed) if args.seed is not None else make_config()
+
     if args.trace_out:
         # Fail now, not after a multi-minute run, if the path is bad.
         try:
@@ -82,97 +239,64 @@ def main(argv: list[str] | None = None) -> int:
                 pass
         except OSError as exc:
             parser.error(f"--trace-out {args.trace_out}: {exc}")
+
+    disk = None
+    if not args.no_cache:
+        disk = DiskCache(args.cache_dir)
+        if args.clear_cache:
+            removed = disk.clear()
+            _note(f"[cache] cleared {removed} entries under {disk.root}")
+        set_disk_cache(disk)
+    elif args.clear_cache:
+        parser.error("--clear-cache contradicts --no-cache")
+
     tracer = obs.enable() if (args.trace_out or args.verbose) else None
     started = time.time()
     print(
-        f"preset={'full' if args.full else 'quick'} seed={config.seed} "
+        f"preset={preset} seed={config.seed} "
         f"scale={config.scale} train={config.unary_train}/{config.join_train} "
         f"test={config.test_count}"
     )
+    if disk is not None:
+        _note(f"[cache] {disk.root} ({len(disk)} entries)")
 
     try:
+        if args.jobs > 1:
+            report = run_experiments(
+                config,
+                tasks=enumerate_class_tasks(),
+                jobs=args.jobs,
+                progress=lambda t: _note(
+                    f"[runner] {t.task.key}: {t.source} in {t.seconds:.1f}s"
+                ),
+            )
+            _note(report.summary())
         _run_benches(args, config)
     finally:
+        if disk is not None:
+            set_disk_cache(None)
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)
-                print(f"\nwrote {count} spans to {args.trace_out}")
+                _note(f"\nwrote {count} spans to {args.trace_out}")
             if args.verbose:
-                print("\n--- span summary (real seconds) ---")
-                print(obs.summary_table(tracer))
-                print("\n--- metrics ---")
-                print(obs.metrics_table(obs.get_registry()))
+                _note("\n--- span summary (real seconds) ---")
+                _note(obs.summary_table(tracer))
+                _note("\n--- metrics ---")
+                _note(obs.metrics_table(obs.get_registry()))
             obs.disable()
 
-    print(f"\ntotal wall time: {time.time() - started:.1f}s")
+    _note(f"\ntotal wall time: {time.time() - started:.1f}s")
     return 0
 
 
 def _run_benches(args, config) -> None:
-    _banner("Figure 1: effect of dynamic factor on query cost")
-    fig1 = run_figure1(config)
-    print(f"query: {FIGURE1_SQL}")
-    print(
-        format_series(
-            [float(p) for p in fig1.process_counts],
-            {"cost_seconds": fig1.costs},
-            x_label="concurrent_processes",
-        )
-    )
-    print(f"swing: {fig1.swing:.1f}x   (paper: 3.80 s -> 124.02 s, ~33x)")
-    _bench_done("figure1")
-
-    _banner("Table 4: multi-state cost models")
-    print(render_table4(run_table4(config)))
-    _bench_done("table4")
-
-    _banner("Table 5: statistics for cost models")
-    rows = run_table5(config)
-    print(render_table5(rows))
-    violations = shape_violations(rows)
-    print(f"shape violations: {violations or 'none'}")
-    _bench_done("table5")
-
-    _banner("Figures 4-9: observed vs estimated costs for test queries")
-    for number in sorted(FIGURE_LAYOUT):
-        figure = run_figure(number, config)
-        series = figure.series()
-        err_multi = tracking_error(series["observed"], series["multi_states"])
-        err_one = tracking_error(series["observed"], series["one_state"])
-        print(render_figure(figure, max_rows=10))
-        print(
-            f"normalized RMS error: multi-states {err_multi:.3f} vs "
-            f"one-state {err_one:.3f}\n"
-        )
-    _bench_done("figures4_9")
-
-    _banner("Table 6 + Figure 10: IUPMA vs ICMA under clustered contention")
-    table6 = run_table6(config)
-    print(render_table6(table6))
-    print()
-    print(render_figure10(table6))
-    _bench_done("table6")
-
-    _banner("Ablation: number of contention states (§5 observation 4)")
-    print(render_states_ablation(run_states_ablation(config)))
-    print("paper (G2/Oracle, 1..6 states): 0.7788 0.9636 0.9674 0.9899 0.9922")
-    _bench_done("states_ablation")
-
-    _banner("Ablation: qualitative model forms (paper Table 2 / §3.2)")
-    print(render_model_forms(run_model_forms(config)))
-    _bench_done("model_forms")
-
-    _banner("Ablation: observed vs estimated probing costs (§3.3 eq. (2))")
-    print(render_probing_estimation(run_probing_estimation(config)))
-    _bench_done("probing_estimation")
-
-    _banner("End-to-end: plan quality with multi-states vs one-state models")
-    print(render_plan_quality(run_plan_quality(config)))
-    _bench_done("plan_quality")
-
-    _banner("Ablation: sample size (Proposition 4.1 / eq. (4))")
-    print(render_sample_size_ablation(run_sample_size_ablation(config)))
-    _bench_done("sample_size_ablation")
+    selected = set(args.only) if args.only else None
+    for name, bench in BENCHES:
+        if selected is not None and name not in selected:
+            continue
+        bench(config)
+        _bench_done(name)
 
 
 if __name__ == "__main__":

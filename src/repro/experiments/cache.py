@@ -1,0 +1,203 @@
+"""Content-addressed on-disk cache for class-experiment results.
+
+One cache entry per task digest, where the digest is a SHA-256 over a
+canonical JSON encoding of everything that determines the result:
+
+* the task identity — profile name, query-class label, environment
+  kind, derivation algorithm;
+* the full :class:`~repro.experiments.config.ExperimentConfig`
+  (including every :class:`~repro.core.builder.BuilderConfig` tunable
+  and the seed);
+* a **code-version salt** — a digest of the source of every package the
+  result flows through (``repro.core``, ``repro.engine``, ``repro.env``,
+  ``repro.workload``, ``repro.mlr`` and the harness/config modules), so
+  editing engine code silently invalidates old entries instead of
+  serving stale results;
+* the cache schema version.
+
+Entries live under ``$REPRO_CACHE_DIR`` /
+``$XDG_CACHE_HOME/repro-experiments`` / ``~/.cache/repro-experiments``
+(first set wins), sharded by digest prefix, each a directory holding the
+JSON + npz payload written by :mod:`repro.experiments.serialize`.
+Writes are atomic (write to a temp directory, then ``os.rename``), so
+concurrent pool workers computing the same task race benignly: the first
+rename wins and the loser discards its copy.
+
+Hit/miss counters live on the :class:`DiskCache` object itself, mirrored
+into :mod:`repro.obs` for observability — the object is the source of
+truth, so stats survive an obs registry reset and never double-count
+across pooled workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+
+from .. import obs
+from .config import ExperimentConfig
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DiskCache",
+    "code_version_salt",
+    "default_cache_dir",
+    "task_digest",
+]
+
+#: Bump when the digest recipe or entry layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Packages whose source participates in the code-version salt.
+_SALTED_PACKAGES = ("core", "engine", "env", "workload", "mlr")
+_SALTED_MODULES = ("experiments/config.py", "experiments/harness.py",
+                   "experiments/serialize.py")
+
+_code_salt: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-experiments"
+
+
+def code_version_salt() -> str:
+    """Digest of the result-determining source tree (computed once)."""
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        files: list[Path] = []
+        for package in _SALTED_PACKAGES:
+            files.extend(sorted((package_root / package).glob("*.py")))
+        files.extend(package_root / rel for rel in _SALTED_MODULES)
+        for path in files:
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()[:16]
+    return _code_salt
+
+
+def _jsonable(value):
+    """Canonical JSON-safe encoding of config values (enums, tuples...)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def config_fingerprint(config: ExperimentConfig) -> dict:
+    """The config as a canonical, JSON-safe dict (every tunable included)."""
+    return _jsonable(dataclasses.asdict(config))
+
+
+def task_digest(
+    profile_name: str,
+    class_label: str,
+    config: ExperimentConfig,
+    environment_kind: str = "uniform",
+    algorithm: str = "iupma",
+) -> str:
+    """The content address of one class-experiment task."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_version_salt(),
+        "profile": profile_name,
+        "query_class": class_label,
+        "environment_kind": environment_kind,
+        "algorithm": algorithm,
+        "config": config_fingerprint(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class DiskCache:
+    """Digest-addressed storage of serialized class-experiment results."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _entry_dir(self, digest: str) -> Path:
+        return self.root / digest[:2] / digest
+
+    def get(self, digest: str):
+        """The cached result for *digest*, or None (miss or corrupt entry)."""
+        from .serialize import PayloadError, result_from_files
+
+        entry = self._entry_dir(digest)
+        if entry.is_dir():
+            try:
+                result = result_from_files(entry)
+            except PayloadError:
+                # Corrupt/stale entry: drop it and treat as a miss.
+                shutil.rmtree(entry, ignore_errors=True)
+            else:
+                self.hits += 1
+                obs.inc("experiments.disk_cache.hits")
+                return result
+        self.misses += 1
+        obs.inc("experiments.disk_cache.misses")
+        return None
+
+    def put(self, digest: str, result) -> None:
+        """Store *result* atomically; a concurrent identical put wins benignly."""
+        from .serialize import result_to_files
+
+        entry = self._entry_dir(digest)
+        if entry.is_dir():
+            return
+        tmp = self.root / f".tmp-{os.getpid()}-{digest[:16]}"
+        shutil.rmtree(tmp, ignore_errors=True)
+        result_to_files(result, tmp)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(tmp, entry)
+        except OSError:
+            # Another worker landed the entry first.
+            shutil.rmtree(tmp, ignore_errors=True)
+        else:
+            self.writes += 1
+            obs.inc("experiments.disk_cache.writes")
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                removed += sum(1 for e in shard.iterdir() if e.is_dir())
+                shutil.rmtree(shard, ignore_errors=True)
+        return removed
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir() and not shard.name.startswith(".tmp-")
+            for entry in shard.iterdir()
+            if (entry / "manifest.json").is_file()
+        )
+
+    def stats(self) -> tuple[int, int]:
+        """(hits, misses) counted on this object."""
+        return (self.hits, self.misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskCache({str(self.root)!r}, entries={len(self)})"

@@ -1,7 +1,9 @@
 """Experiment configuration: scales, sample sizes, seeds.
 
-Two presets:
+Three presets:
 
+* :func:`tiny` — seconds-long smoke preset for CI pool smokes and
+  determinism guards;
 * :func:`quick` — the default for tests and benchmarks: scaled-down
   tables and Proposition-4.1-sized-for-fewer-states samples, so the whole
   suite runs in minutes while preserving every qualitative shape;
@@ -48,6 +50,24 @@ class ExperimentConfig:
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed)
+
+
+def tiny(seed: int = 13) -> ExperimentConfig:
+    """Smallest preset that still exercises every pipeline stage.
+
+    Used by smoke tests (including the CI ``--jobs 2`` pool smoke) and
+    the cross-process determinism guard; the qualitative shapes survive
+    but the absolute numbers are noisier than :func:`quick`.
+    """
+    return ExperimentConfig(
+        scale=0.008,
+        seed=seed,
+        unary_train=90,
+        join_train=90,
+        static_train=40,
+        test_count=30,
+        join_tables=("R1", "R2", "R3", "R4"),
+    )
 
 
 def quick(seed: int = 7) -> ExperimentConfig:

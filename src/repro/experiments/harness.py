@@ -76,11 +76,23 @@ class ClassExperimentResult:
         }
 
 
+def stable_seed(base: int, *parts: str) -> int:
+    """A per-task seed derived from a stable key, not execution order.
+
+    Every site a class experiment builds seeds its RNGs from
+    ``stable_seed(config.seed, profile_name)``, so a task's random
+    universe is a pure function of its identity — the contract that lets
+    the parallel runner execute tasks in any order, on any worker, and
+    still reproduce the serial run bit for bit.
+    """
+    return base + (zlib.crc32("/".join(parts).encode()) % 1000)
+
+
 def _sites_for_profile(
     profile: DBMSProfile, config: ExperimentConfig
 ) -> tuple[Site, Site]:
     """A dynamic site and a static twin holding the identical database."""
-    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    seed = stable_seed(config.seed, profile.name)
     dynamic = make_site(
         f"{profile.name}_dyn",
         profile=profile,
@@ -130,7 +142,7 @@ def _run_class_experiment(
     environment_kind: str,
     algorithm: str,
 ) -> ClassExperimentResult:
-    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    seed = stable_seed(config.seed, profile.name)
     dynamic = make_site(
         f"{profile.name}_dyn",
         profile=profile,
@@ -208,21 +220,64 @@ def _run_class_experiment(
 
 
 # ---------------------------------------------------------------------------
-# Cross-bench cache
+# Cross-bench cache: in-process memo over an optional on-disk layer
 # ---------------------------------------------------------------------------
 
-_CACHE: dict[tuple, ClassExperimentResult] = {}
+
+class ExperimentCache:
+    """In-process memo over an optional content-addressed disk cache.
+
+    Hit/miss counts live on the cache object itself — the source of
+    truth for :func:`cache_stats` — and are only *mirrored* into the
+    :mod:`repro.obs` registry.  Reading them back from global obs
+    counters would misreport after a registry reset and double-count
+    when pooled workers merge their metrics into the parent's registry.
+    """
+
+    def __init__(self, disk=None) -> None:
+        #: Optional :class:`repro.experiments.cache.DiskCache`.
+        self.disk = disk
+        self._memory: dict[tuple, ClassExperimentResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def reset_memory(self) -> None:
+        """Forget memoized results and zero the counters (disk untouched)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
 
 
-def cached_class_experiment(
+_cache = ExperimentCache()
+
+
+def get_cache() -> ExperimentCache:
+    return _cache
+
+
+def set_disk_cache(disk) -> object:
+    """Attach a :class:`~repro.experiments.cache.DiskCache` (or None).
+
+    Returns the previously attached disk cache so callers can restore it.
+    """
+    previous = _cache.disk
+    _cache.disk = disk
+    return previous
+
+
+def _memory_key(
     profile: DBMSProfile,
     query_class: QueryClass,
     config: ExperimentConfig,
-    environment_kind: str = "uniform",
-    algorithm: str = "iupma",
-) -> ClassExperimentResult:
-    """Memoized :func:`run_class_experiment` (shared across benches)."""
-    key = (
+    environment_kind: str,
+    algorithm: str,
+) -> tuple:
+    return (
         profile.name,
         query_class.label,
         environment_kind,
@@ -235,27 +290,75 @@ def cached_class_experiment(
         config.test_count,
         config.join_tables,
     )
-    if key in _CACHE:
+
+
+def seed_cache(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    result: ClassExperimentResult,
+    environment_kind: str = "uniform",
+    algorithm: str = "iupma",
+) -> None:
+    """Hand a precomputed result to the memo (used by the parallel runner)."""
+    key = _memory_key(profile, query_class, config, environment_kind, algorithm)
+    _cache._memory[key] = result
+
+
+def cached_class_experiment(
+    profile: DBMSProfile,
+    query_class: QueryClass,
+    config: ExperimentConfig,
+    environment_kind: str = "uniform",
+    algorithm: str = "iupma",
+) -> ClassExperimentResult:
+    """Memoized :func:`run_class_experiment` (shared across benches).
+
+    Lookup order: in-process memo, then the attached disk cache (if
+    any), then compute — and a computed result is written back to disk
+    so interrupted or future runs resume for free.
+    """
+    key = _memory_key(profile, query_class, config, environment_kind, algorithm)
+    result = _cache._memory.get(key)
+    if result is not None:
+        _cache.hits += 1
         obs.inc("experiments.cache.hits")
-    else:
-        obs.inc("experiments.cache.misses")
-        _CACHE[key] = run_class_experiment(
-            profile, query_class, config, environment_kind, algorithm
+        return result
+
+    digest = None
+    if _cache.disk is not None:
+        from .cache import task_digest
+
+        digest = task_digest(
+            profile.name, query_class.label, config, environment_kind, algorithm
         )
-    return _CACHE[key]
+        result = _cache.disk.get(digest)
+        if result is not None:
+            _cache.hits += 1
+            _cache.disk_hits += 1
+            obs.inc("experiments.cache.hits")
+            _cache._memory[key] = result
+            return result
+
+    _cache.misses += 1
+    obs.inc("experiments.cache.misses")
+    result = run_class_experiment(
+        profile, query_class, config, environment_kind, algorithm
+    )
+    _cache._memory[key] = result
+    if _cache.disk is not None:
+        _cache.disk.put(digest, result)
+    return result
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Reset the in-process memo and its counters (disk entries persist)."""
+    _cache.reset_memory()
 
 
 def cache_stats() -> tuple[int, int]:
     """(hits, misses) of the class-experiment cache so far this process."""
-    registry = obs.get_registry()
-    return (
-        int(registry.counter_value("experiments.cache.hits")),
-        int(registry.counter_value("experiments.cache.misses")),
-    )
+    return (_cache.hits, _cache.misses)
 
 
 def cache_summary() -> str:
@@ -263,10 +366,13 @@ def cache_summary() -> str:
     hits, misses = cache_stats()
     lookups = hits + misses
     rate = 100.0 * hits / lookups if lookups else 0.0
-    return (
+    line = (
         f"[experiment cache] {hits} hits / {misses} misses "
-        f"({lookups} lookups, {rate:.0f}% hit rate, {len(_CACHE)} entries)"
+        f"({lookups} lookups, {rate:.0f}% hit rate, {len(_cache)} entries"
     )
+    if _cache.disk is not None:
+        line += f", {_cache.disk_hits} from disk"
+    return line + ")"
 
 
 def collect_for_algorithm(
@@ -277,7 +383,7 @@ def collect_for_algorithm(
     algorithm: str,
 ) -> tuple[BuildOutcome, ValidationReport, list[Observation]]:
     """Train one model with *algorithm* and validate it (Table 6 helper)."""
-    seed = config.seed + (zlib.crc32(profile.name.encode()) % 1000)
+    seed = stable_seed(config.seed, profile.name)
     site = make_site(
         f"{profile.name}_{environment_kind}",
         profile=profile,

@@ -1,0 +1,304 @@
+"""Parallel class-experiment execution with deterministic fan-out.
+
+The expensive unit behind Tables 4–5 and Figures 4–9 is the *class
+experiment* (derive multi-states / one-state / static models, then
+validate).  This module:
+
+* enumerates every (profile, query-class, environment, algorithm) task
+  up front (:func:`enumerate_class_tasks`);
+* runs them across a ``--jobs N`` process pool
+  (:func:`run_experiments`), each task seeded from its **stable key**
+  (:func:`repro.experiments.harness.stable_seed`) rather than worker
+  order, so ``--jobs 4`` reproduces ``--jobs 1`` bit for bit;
+* shares results across processes through the content-addressed disk
+  cache (:mod:`repro.experiments.cache`) attached to the harness;
+* aggregates each worker's :mod:`repro.obs` counters and per-task wall
+  clock back into the parent's registry, so cache hit rates and task
+  timings survive the pool boundary.
+
+``jobs=1`` runs everything serially in-process — the exact code path the
+table and figure runners have always used — so tests and benches that
+never opt into parallelism are unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..core import classification
+from ..core.classification import QueryClass
+from ..engine.profiles import DBMSProfile
+from . import harness
+from .config import ExperimentConfig
+from .table4 import TABLE4_CLASSES, TABLE4_PROFILES
+
+__all__ = [
+    "ExperimentTask",
+    "RunnerReport",
+    "TaskReport",
+    "enumerate_class_tasks",
+    "run_experiments",
+    "task_seed",
+]
+
+#: Histogram fed with each task's wall-clock seconds (parent registry).
+TASK_SECONDS_METRIC = "experiments.runner.task_seconds"
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One class-experiment task, identified by stable names only.
+
+    Names (not objects) keep the task trivially picklable and give it a
+    stable string key for seeding and content addressing.
+    """
+
+    profile: str
+    query_class: str
+    environment_kind: str = "uniform"
+    algorithm: str = "iupma"
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.profile}/{self.query_class}"
+            f"/{self.environment_kind}/{self.algorithm}"
+        )
+
+    def resolve(self) -> tuple[DBMSProfile, QueryClass]:
+        profile = _profiles_by_name().get(self.profile)
+        if profile is None:
+            raise KeyError(f"unknown DBMS profile {self.profile!r}")
+        query_class = _classes_by_label().get(self.query_class)
+        if query_class is None:
+            raise KeyError(f"unknown query class {self.query_class!r}")
+        return profile, query_class
+
+
+def _profiles_by_name() -> dict[str, DBMSProfile]:
+    return {p.name: p for p in TABLE4_PROFILES}
+
+
+def _classes_by_label() -> dict[str, QueryClass]:
+    return {
+        value.label: value
+        for value in vars(classification).values()
+        if isinstance(value, QueryClass)
+    }
+
+
+def task_seed(config: ExperimentConfig, task: ExperimentTask) -> int:
+    """The seed a task's sites derive their RNGs from.
+
+    A pure function of (config.seed, task identity) — never of worker
+    assignment or completion order.
+    """
+    return harness.stable_seed(config.seed, task.profile)
+
+
+def enumerate_class_tasks(
+    environment_kind: str = "uniform", algorithm: str = "iupma"
+) -> list[ExperimentTask]:
+    """Every cached class-experiment task Tables 4–5 / Figures 4–9 need."""
+    return [
+        ExperimentTask(
+            profile=profile.name,
+            query_class=query_class.label,
+            environment_kind=environment_kind,
+            algorithm=algorithm,
+        )
+        for profile in TABLE4_PROFILES
+        for query_class in TABLE4_CLASSES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskReport:
+    """How one task was satisfied."""
+
+    task: ExperimentTask
+    seconds: float
+    #: "computed" | "disk" | "memory"
+    source: str
+
+
+@dataclass
+class RunnerReport:
+    """Aggregate outcome of one :func:`run_experiments` call."""
+
+    jobs: int
+    tasks: list[TaskReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for t in self.tasks if t.source == "computed")
+
+    @property
+    def from_cache(self) -> int:
+        return len(self.tasks) - self.computed
+
+    @property
+    def task_seconds(self) -> float:
+        return sum(t.seconds for t in self.tasks)
+
+    def summary(self) -> str:
+        slowest = max(self.tasks, key=lambda t: t.seconds, default=None)
+        line = (
+            f"[runner] {len(self.tasks)} tasks on {self.jobs} worker(s): "
+            f"computed={self.computed} cached={self.from_cache} "
+            f"wall={self.wall_seconds:.1f}s task-time={self.task_seconds:.1f}s"
+        )
+        if slowest is not None:
+            line += f" slowest={slowest.task.key} ({slowest.seconds:.1f}s)"
+        return line
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_worker_state: dict = {}
+
+
+def _worker_init(config: ExperimentConfig, cache_dir) -> None:
+    """Make a pool worker hermetic: fresh registry, fresh memo, own disk cache."""
+    obs.set_registry(obs.MetricsRegistry())
+    harness.clear_cache()
+    if cache_dir is not None:
+        from .cache import DiskCache
+
+        harness.set_disk_cache(DiskCache(cache_dir))
+    else:
+        harness.set_disk_cache(None)
+    _worker_state["config"] = config
+
+
+def _execute_task(task: ExperimentTask):
+    """Run one task in a worker.
+
+    Returns (task, result, seconds, source, counter_deltas).  Counters
+    are returned as *deltas* over this task, not the worker's cumulative
+    registry — a worker that handles several tasks must not re-report
+    earlier tasks' work with each completion.
+    """
+    config = _worker_state["config"]
+    profile, query_class = task.resolve()
+    cache = harness.get_cache()
+    hits_before = cache.hits
+    disk_hits_before = cache.disk_hits
+    counters_before = obs.get_registry().counters()
+    started = time.perf_counter()
+    result = harness.cached_class_experiment(
+        profile, query_class, config, task.environment_kind, task.algorithm
+    )
+    seconds = time.perf_counter() - started
+    if cache.hits == hits_before:
+        source = "computed"
+    elif cache.disk_hits > disk_hits_before:
+        source = "disk"
+    else:
+        source = "memory"
+    counters_after = obs.get_registry().counters()
+    deltas = {
+        name: value - counters_before.get(name, 0.0)
+        for name, value in counters_after.items()
+        if value != counters_before.get(name, 0.0)
+    }
+    return task, result, seconds, source, deltas
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+def _absorb(
+    report: RunnerReport,
+    config: ExperimentConfig,
+    task: ExperimentTask,
+    result,
+    seconds: float,
+    source: str,
+) -> None:
+    profile, query_class = task.resolve()
+    harness.seed_cache(
+        profile, query_class, config, result, task.environment_kind, task.algorithm
+    )
+    obs.observe(TASK_SECONDS_METRIC, seconds)
+    report.tasks.append(TaskReport(task=task, seconds=seconds, source=source))
+
+
+def run_experiments(
+    config: ExperimentConfig,
+    tasks: list[ExperimentTask] | None = None,
+    jobs: int = 1,
+    progress=None,
+) -> RunnerReport:
+    """Execute *tasks* (default: all class-experiment tasks) with *jobs* workers.
+
+    Results land in the harness memo, so subsequent table/figure runners
+    in this process are pure cache hits.  With ``jobs > 1`` each worker
+    gets a fresh obs registry and its counters are merged back into the
+    parent's registry when its tasks complete.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if tasks is None:
+        tasks = enumerate_class_tasks()
+    report = RunnerReport(jobs=jobs)
+    started = time.perf_counter()
+
+    if jobs == 1 or len(tasks) <= 1:
+        report.jobs = 1
+        for task in tasks:
+            profile, query_class = task.resolve()
+            hits_before, _ = harness.cache_stats()
+            disk_hits_before = harness.get_cache().disk_hits
+            t0 = time.perf_counter()
+            result = harness.cached_class_experiment(
+                profile, query_class, config, task.environment_kind, task.algorithm
+            )
+            seconds = time.perf_counter() - t0
+            cache = harness.get_cache()
+            if cache.hits == hits_before:
+                source = "computed"
+            elif cache.disk_hits > disk_hits_before:
+                source = "disk"
+            else:
+                source = "memory"
+            obs.observe(TASK_SECONDS_METRIC, seconds)
+            report.tasks.append(
+                TaskReport(task=task, seconds=seconds, source=source)
+            )
+            if progress is not None:
+                progress(report.tasks[-1])
+    else:
+        cache = harness.get_cache()
+        cache_dir = cache.disk.root if cache.disk is not None else None
+        registry = obs.get_registry()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(config, cache_dir),
+        ) as pool:
+            pending = {pool.submit(_execute_task, task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, result, seconds, source, counters = future.result()
+                    _absorb(report, config, task, result, seconds, source)
+                    registry.merge_counters(counters)
+                    if progress is not None:
+                        progress(report.tasks[-1])
+
+    report.wall_seconds = time.perf_counter() - started
+    return report

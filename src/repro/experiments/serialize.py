@@ -1,0 +1,183 @@
+"""JSON + npz codec for :class:`~repro.experiments.harness.ClassExperimentResult`.
+
+The on-disk experiment cache (:mod:`repro.experiments.cache`) stores one
+class-experiment result as a two-file entry:
+
+* ``manifest.json`` — models (via
+  :meth:`~repro.core.model.MultiStateCostModel.to_dict`), validation
+  reports, per-phase timings, observation variable names and metadata;
+* ``arrays.npz`` — every numeric series (test points and per-outcome
+  observation columns) as float64 arrays.
+
+The round trip is **exact**: floats stored in npz are binary-identical,
+and floats in the manifest survive JSON because Python serializes them
+with shortest-round-trip ``repr``.  That exactness is what lets a
+warm-cache rerun of ``python -m repro.experiments`` produce byte-identical
+tables and figures (there is a regression test for it).
+
+Restored :class:`~repro.core.builder.BuildOutcome` objects carry the
+model, training observations, and timings, but not the derivation
+provenance (``selection`` / ``determination`` are ``None``): provenance
+objects hold full fit histories that no table or figure consumer reads,
+and omitting them keeps cache entries small and schema-stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.builder import BuildOutcome
+from ..core.classification import QueryClass
+from ..core.model import MultiStateCostModel
+from ..core.validation import ValidationReport
+from ..core.variables import Observation
+from .harness import ClassExperimentResult, TestPoint
+
+#: Bump when the payload layout changes; readers reject other versions.
+PAYLOAD_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+_OUTCOME_TAGS = ("multi", "one_state", "static")
+_TESTPOINT_FIELDS = (
+    "result_tuples",
+    "observed",
+    "estimated_multi",
+    "estimated_one_state",
+    "estimated_static",
+)
+
+
+class PayloadError(ValueError):
+    """A cache entry that cannot be decoded (corrupt or wrong version)."""
+
+
+def _encode_outcome(
+    tag: str, outcome: BuildOutcome, manifest: dict, arrays: dict
+) -> None:
+    observations = outcome.observations
+    names = tuple(observations[0].values) if observations else ()
+    manifest[tag] = {
+        "model": outcome.model.to_dict(),
+        "timings": {k: float(v) for k, v in outcome.timings.items()},
+        "value_names": list(names),
+        "metadata": [obs.metadata for obs in observations],
+    }
+    arrays[f"{tag}_cost"] = np.array([o.cost for o in observations], dtype=float)
+    arrays[f"{tag}_probing"] = np.array(
+        [o.probing_cost for o in observations], dtype=float
+    )
+    arrays[f"{tag}_contention"] = np.array(
+        [o.contention_level for o in observations], dtype=float
+    )
+    arrays[f"{tag}_values"] = np.array(
+        [[o.values[n] for n in names] for o in observations], dtype=float
+    ).reshape(len(observations), len(names))
+
+
+def _decode_outcome(tag: str, manifest: dict, arrays) -> BuildOutcome:
+    entry = manifest[tag]
+    names = tuple(entry["value_names"])
+    cost = arrays[f"{tag}_cost"]
+    probing = arrays[f"{tag}_probing"]
+    contention = arrays[f"{tag}_contention"]
+    values = arrays[f"{tag}_values"]
+    metadata = entry["metadata"]
+    observations = [
+        Observation(
+            cost=float(cost[i]),
+            probing_cost=float(probing[i]),
+            values={n: float(values[i, j]) for j, n in enumerate(names)},
+            contention_level=float(contention[i]),
+            metadata=dict(metadata[i]),
+        )
+        for i in range(cost.shape[0])
+    ]
+    return BuildOutcome(
+        model=MultiStateCostModel.from_dict(entry["model"]),
+        observations=observations,
+        selection=None,
+        determination=None,
+        timings=dict(entry["timings"]),
+    )
+
+
+def result_to_files(result: ClassExperimentResult, directory: Path) -> None:
+    """Write *result* as ``manifest.json`` + ``arrays.npz`` in *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    manifest: dict = {
+        "version": PAYLOAD_VERSION,
+        "site": result.site,
+        "profile": result.profile,
+        "query_class": dataclasses.asdict(result.query_class),
+        "reports": {
+            "multi": dataclasses.asdict(result.report_multi),
+            "one_state": dataclasses.asdict(result.report_one_state),
+            "static": dataclasses.asdict(result.report_static),
+        },
+    }
+    for tag, outcome in zip(
+        _OUTCOME_TAGS, (result.multi, result.one_state, result.static)
+    ):
+        _encode_outcome(tag, outcome, manifest, arrays)
+    for name in _TESTPOINT_FIELDS:
+        arrays[f"tp_{name}"] = np.array(
+            [getattr(p, name) for p in result.test_points], dtype=float
+        )
+    np.savez(directory / ARRAYS_NAME, **arrays)
+    with open(directory / MANIFEST_NAME, "w") as fh:
+        json.dump(manifest, fh)
+
+
+def result_from_files(directory: Path) -> ClassExperimentResult:
+    """Rebuild a result from a directory written by :func:`result_to_files`.
+
+    Raises :class:`PayloadError` on any malformed or version-mismatched
+    entry (callers treat that as a cache miss).
+    """
+    directory = Path(directory)
+    try:
+        with open(directory / MANIFEST_NAME) as fh:
+            manifest = json.load(fh)
+        if manifest.get("version") != PAYLOAD_VERSION:
+            raise PayloadError(
+                f"payload version {manifest.get('version')!r}, "
+                f"expected {PAYLOAD_VERSION}"
+            )
+        with np.load(directory / ARRAYS_NAME) as arrays:
+            outcomes = {
+                tag: _decode_outcome(tag, manifest, arrays)
+                for tag in _OUTCOME_TAGS
+            }
+            columns = [arrays[f"tp_{name}"] for name in _TESTPOINT_FIELDS]
+        points = [
+            TestPoint(*(float(col[i]) for col in columns))
+            for i in range(columns[0].shape[0])
+        ]
+        reports = {
+            tag: ValidationReport(**manifest["reports"][tag])
+            for tag in _OUTCOME_TAGS
+        }
+        return ClassExperimentResult(
+            site=manifest["site"],
+            profile=manifest["profile"],
+            query_class=QueryClass(**manifest["query_class"]),
+            multi=outcomes["multi"],
+            one_state=outcomes["one_state"],
+            static=outcomes["static"],
+            report_multi=reports["multi"],
+            report_one_state=reports["one_state"],
+            report_static=reports["static"],
+            test_points=points,
+        )
+    except PayloadError:
+        raise
+    except Exception as exc:
+        raise PayloadError(f"unreadable cache entry at {directory}: {exc}") from exc

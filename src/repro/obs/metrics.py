@@ -234,6 +234,27 @@ class MetricsRegistry:
             metric = self._metrics.get(name)
         return metric.value if isinstance(metric, Counter) else default
 
+    def counters(self) -> dict[str, float]:
+        """Every counter's current total, by name."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {
+            name: metric.value
+            for name, metric in sorted(metrics.items())
+            if isinstance(metric, Counter)
+        }
+
+    def merge_counters(self, totals: dict[str, float]) -> None:
+        """Add *totals* into this registry's counters (by name).
+
+        The aggregation primitive for pooled workers: each worker ships
+        its counter deltas back and the parent folds them in, so process
+        boundaries don't lose cache hit rates or per-layer work counts.
+        """
+        for name, value in totals.items():
+            if value:
+                self.inc(name, value)
+
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._metrics)

@@ -1,0 +1,110 @@
+"""Cross-process determinism and CLI parallel-equivalence guards.
+
+The parallel runner's whole correctness story rests on one contract:
+a class experiment's result is a pure function of its task identity and
+config, never of process, worker order, or hash randomization.  These
+tests enforce it from the outside — fresh interpreters, different
+``PYTHONHASHSEED`` values, and the real ``python -m repro.experiments``
+entry point.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Computes one tiny class experiment and dumps everything that must be
+#: reproducible: coefficients, state boundaries, and validation stats.
+_FINGERPRINT_SCRIPT = """
+import json
+from repro.core.classification import G1
+from repro.engine.profiles import ORACLE_LIKE
+from repro.experiments.config import tiny
+from repro.experiments.harness import run_class_experiment
+
+result = run_class_experiment(ORACLE_LIKE, G1, tiny())
+payload = {}
+for name, model in result.models.items():
+    payload[name] = {
+        "coefficients": [float(c) for c in model.coefficients],
+        "boundaries": list(model.states.boundaries),
+        "cmin": model.states.cmin,
+        "cmax": model.states.cmax,
+        "terms": list(model.term_names),
+    }
+for name, report in result.reports.items():
+    payload[name + "_validation"] = report.row()
+payload["test_points"] = [
+    [p.result_tuples, p.observed, p.estimated_multi,
+     p.estimated_one_state, p.estimated_static]
+    for p in result.test_points
+]
+print(json.dumps(payload, sort_keys=True))
+"""
+
+
+def _run_python(code: str, hashseed: str, extra_env: dict | None = None) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = hashseed
+    env.update(extra_env or {})
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestCrossProcessDeterminism:
+    def test_fresh_interpreters_agree_exactly(self):
+        """Two cold processes (different hash seeds) → identical results."""
+        first = json.loads(_run_python(_FINGERPRINT_SCRIPT, hashseed="0"))
+        second = json.loads(_run_python(_FINGERPRINT_SCRIPT, hashseed="12345"))
+        assert first == second
+
+
+def _run_cli(args: list[str], cache_dir: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CACHE_DIR", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--preset", "tiny",
+         "--cache-dir", str(cache_dir), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+@pytest.mark.slow
+class TestParallelCLIEquivalence:
+    """`--jobs N` must never change the artifact stream (stdout)."""
+
+    def test_jobs4_matches_jobs1_and_warm_cache_recomputes_nothing(self, tmp_path):
+        serial = _run_cli(["--jobs", "1"], tmp_path / "serial")
+        parallel = _run_cli(["--jobs", "4"], tmp_path / "parallel")
+        assert parallel.stdout == serial.stdout
+
+        # Same cache dir again: the pool loads every task from disk.
+        warm = _run_cli(["--jobs", "4"], tmp_path / "parallel")
+        assert warm.stdout == serial.stdout
+        assert "computed=0" in warm.stderr
+        assert "cached=6" in warm.stderr
+
+    def test_only_flag_limits_benches(self, tmp_path):
+        proc = _run_cli(["--only", "table4"], tmp_path / "only")
+        assert "Table 4" in proc.stdout
+        assert "Table 5" not in proc.stdout
+        assert "Figure 1" not in proc.stdout

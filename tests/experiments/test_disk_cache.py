@@ -1,0 +1,176 @@
+"""The content-addressed disk cache and the exact JSON+npz codec."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.classification import G1
+from repro.engine.profiles import DB2_LIKE, ORACLE_LIKE
+from repro.experiments import harness
+from repro.experiments.cache import (
+    DiskCache,
+    code_version_salt,
+    default_cache_dir,
+    task_digest,
+)
+from repro.experiments.config import tiny
+from repro.experiments.serialize import (
+    PayloadError,
+    result_from_files,
+    result_to_files,
+)
+from repro.experiments.table4 import render_table4
+from repro.experiments.table5 import run_table5, render_table5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return harness.run_class_experiment(ORACLE_LIKE, G1, tiny())
+
+
+class TestDigest:
+    def test_digest_depends_on_every_input(self):
+        config = tiny()
+        base = task_digest("oracle_like", "G1", config)
+        assert base == task_digest("oracle_like", "G1", config)
+        assert base != task_digest("db2_like", "G1", config)
+        assert base != task_digest("oracle_like", "G2", config)
+        assert base != task_digest("oracle_like", "G1", config.with_seed(99))
+        assert base != task_digest("oracle_like", "G1", config, algorithm="icma")
+        assert base != task_digest(
+            "oracle_like", "G1", config, environment_kind="static"
+        )
+
+    def test_digest_covers_builder_tunables(self):
+        config = tiny()
+        states = dataclasses.replace(config.builder.states, max_states=3)
+        builder = dataclasses.replace(config.builder, states=states)
+        changed = dataclasses.replace(config, builder=builder)
+        assert task_digest("oracle_like", "G1", config) != task_digest(
+            "oracle_like", "G1", changed
+        )
+
+    def test_code_salt_is_stable_within_process(self):
+        assert code_version_salt() == code_version_salt()
+        assert len(code_version_salt()) == 16
+
+    def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        assert default_cache_dir() == tmp_path / "explicit"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-experiments"
+
+
+class TestCodec:
+    def test_roundtrip_is_exact(self, result, tmp_path):
+        result_to_files(result, tmp_path / "entry")
+        restored = result_from_files(tmp_path / "entry")
+        # Byte-identical rendering is the warm-cache contract.
+        for name in result.models:
+            assert (
+                restored.models[name].equation_table()
+                == result.models[name].equation_table()
+            )
+        assert restored.reports == result.reports
+        assert restored.query_class == result.query_class
+        assert [dataclasses.astuple(p) for p in restored.test_points] == [
+            dataclasses.astuple(p) for p in result.test_points
+        ]
+        # Observations and timings survive; provenance deliberately not.
+        assert len(restored.multi.observations) == len(result.multi.observations)
+        assert restored.multi.observations[3].values == result.multi.observations[3].values
+        assert restored.multi.timings == result.multi.timings
+        assert restored.multi.selection is None
+        assert restored.multi.determination is None
+
+    def test_version_mismatch_rejected(self, result, tmp_path):
+        result_to_files(result, tmp_path / "entry")
+        manifest_path = tmp_path / "entry" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PayloadError):
+            result_from_files(tmp_path / "entry")
+
+    def test_garbage_entry_rejected(self, tmp_path):
+        (tmp_path / "entry").mkdir()
+        (tmp_path / "entry" / "manifest.json").write_text("not json{")
+        with pytest.raises(PayloadError):
+            result_from_files(tmp_path / "entry")
+
+
+class TestDiskCache:
+    def test_put_get_clear(self, result, tmp_path):
+        cache = DiskCache(tmp_path)
+        digest = task_digest("oracle_like", "G1", tiny())
+        assert cache.get(digest) is None
+        cache.put(digest, result)
+        assert len(cache) == 1
+        restored = cache.get(digest)
+        assert restored is not None
+        assert restored.report_multi == result.report_multi
+        assert cache.stats() == (1, 1)
+        assert cache.writes == 1
+        # Idempotent put: entry already present, no second write.
+        cache.put(digest, result)
+        assert cache.writes == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss_and_gets_dropped(self, result, tmp_path):
+        cache = DiskCache(tmp_path)
+        digest = task_digest("oracle_like", "G1", tiny())
+        cache.put(digest, result)
+        entry = cache._entry_dir(digest)
+        (entry / "arrays.npz").write_bytes(b"ruined")
+        assert cache.get(digest) is None
+        assert not entry.exists()
+
+    def test_stats_survive_obs_registry_reset(self, result, tmp_path):
+        """The regression the counters-on-the-object fix exists for:
+        resetting the obs registry must not zero cache accounting."""
+        cache = DiskCache(tmp_path)
+        previous_disk = harness.set_disk_cache(cache)
+        previous_registry = obs.set_registry(obs.MetricsRegistry())
+        harness.clear_cache()
+        try:
+            config = tiny()
+            harness.cached_class_experiment(ORACLE_LIKE, G1, config)  # miss
+            obs.set_registry(obs.MetricsRegistry())  # wipe global counters
+            harness.cached_class_experiment(ORACLE_LIKE, G1, config)  # memory hit
+            harness.clear_cache()  # memo gone; counters reset with it
+            harness.cached_class_experiment(ORACLE_LIKE, G1, config)  # disk hit
+            assert harness.cache_stats() == (1, 0)
+            assert harness.get_cache().disk_hits == 1
+            assert "1 from disk" in harness.cache_summary()
+            # The old implementation read the obs counters instead; after
+            # the registry reset those say (2, 0) — not what happened
+            # since the memo was cleared.
+            registry = obs.get_registry()
+            assert registry.counter_value("experiments.cache.hits") == 2.0
+            assert registry.counter_value("experiments.cache.misses") == 0.0
+        finally:
+            harness.clear_cache()
+            harness.set_disk_cache(previous_disk)
+            obs.set_registry(previous_registry)
+
+
+@pytest.mark.slow
+class TestWarmRenderEquivalence:
+    def test_table5_from_disk_matches_live(self, tmp_path):
+        """Render Table 5 live, then again purely from the disk cache."""
+        config = tiny()
+        previous_disk = harness.set_disk_cache(DiskCache(tmp_path))
+        harness.clear_cache()
+        try:
+            live = render_table5(run_table5(config, profiles=(DB2_LIKE,)))
+            harness.clear_cache()
+            warm = render_table5(run_table5(config, profiles=(DB2_LIKE,)))
+            assert warm == live
+            assert harness.cache_stats()[1] == 0  # zero recomputations
+        finally:
+            harness.clear_cache()
+            harness.set_disk_cache(previous_disk)

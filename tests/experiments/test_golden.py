@@ -1,0 +1,58 @@
+"""Golden-output tests for the quick-preset table renderings.
+
+The checked-in files under ``tests/experiments/golden/`` are the exact
+text ``render_table4`` / ``render_table5`` produce at the quick preset
+with seed 7 — the same artifacts ``python -m repro.experiments`` prints.
+Any drift in the pipeline (seeding, state determination, fitting,
+validation) or in the formatting layer shows up here as a readable diff
+before it reaches an EXPERIMENTS.md record run.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.config import quick
+    from repro.experiments.table4 import render_table4, run_table4
+    from repro.experiments.table5 import render_table5, run_table5
+    cfg = quick(seed=7)
+    open("tests/experiments/golden/table4_quick_seed7.txt", "w").write(
+        render_table4(run_table4(cfg)) + "\\n")
+    open("tests/experiments/golden/table5_quick_seed7.txt", "w").write(
+        render_table5(run_table5(cfg)) + "\\n")
+    EOF
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import quick
+from repro.experiments.table4 import render_table4, run_table4
+from repro.experiments.table5 import render_table5, run_table5
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick(seed=7)
+
+
+def _assert_matches_golden(rendered: str, filename: str) -> None:
+    golden = (GOLDEN_DIR / filename).read_text()
+    assert rendered + "\n" == golden, (
+        f"{filename} drifted — if the change is intentional, regenerate "
+        f"the golden file (see this module's docstring)"
+    )
+
+
+@pytest.mark.slow
+class TestGoldenTables:
+    def test_table4_matches_golden(self, config):
+        _assert_matches_golden(
+            render_table4(run_table4(config)), "table4_quick_seed7.txt"
+        )
+
+    def test_table5_matches_golden(self, config):
+        _assert_matches_golden(
+            render_table5(run_table5(config)), "table5_quick_seed7.txt"
+        )

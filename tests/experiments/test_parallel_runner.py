@@ -1,0 +1,105 @@
+"""The parallel experiment runner: task enumeration, pooling, metrics."""
+
+import pytest
+
+from repro import obs
+from repro.core.classification import G1
+from repro.engine.profiles import ORACLE_LIKE
+from repro.experiments import harness
+from repro.experiments.cache import DiskCache
+from repro.experiments.config import tiny
+from repro.experiments.runner import (
+    TASK_SECONDS_METRIC,
+    ExperimentTask,
+    enumerate_class_tasks,
+    run_experiments,
+    task_seed,
+)
+from repro.experiments.table4 import render_table4, run_table4
+
+
+@pytest.fixture
+def fresh_harness():
+    """Isolated registry + memo + no disk cache for each test."""
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_disk = harness.set_disk_cache(None)
+    harness.clear_cache()
+    try:
+        yield
+    finally:
+        harness.clear_cache()
+        harness.set_disk_cache(previous_disk)
+        obs.set_registry(previous_registry)
+
+
+class TestTasks:
+    def test_enumerates_all_table_figure_tasks(self):
+        tasks = enumerate_class_tasks()
+        assert len(tasks) == 6
+        assert len({t.key for t in tasks}) == 6
+        assert ExperimentTask("db2_like", "G1") in tasks
+        assert ExperimentTask("oracle_like", "G3") in tasks
+
+    def test_resolve_roundtrip_and_unknown_names(self):
+        profile, query_class = ExperimentTask("oracle_like", "G1").resolve()
+        assert profile is ORACLE_LIKE and query_class is G1
+        with pytest.raises(KeyError):
+            ExperimentTask("sybase_like", "G1").resolve()
+        with pytest.raises(KeyError):
+            ExperimentTask("oracle_like", "G99").resolve()
+
+    def test_task_seed_is_stable_key_function(self):
+        config = tiny()
+        task = ExperimentTask("oracle_like", "G1")
+        assert task_seed(config, task) == task_seed(config, task)
+        assert task_seed(config, task) != task_seed(
+            config, ExperimentTask("db2_like", "G1")
+        )
+        # The runner seed IS the seed the harness gives the task's sites.
+        assert task_seed(config, task) == harness.stable_seed(
+            config.seed, "oracle_like"
+        )
+
+
+@pytest.mark.slow
+class TestPool:
+    def test_pool_matches_serial_and_aggregates_metrics(self, fresh_harness, tmp_path):
+        config = tiny()
+        serial_report = run_experiments(config, jobs=1)
+        serial_table = render_table4(run_table4(config))
+        assert serial_report.computed == 6
+
+        harness.clear_cache()
+        harness.set_disk_cache(DiskCache(tmp_path))
+        registry = obs.MetricsRegistry()
+        obs.set_registry(registry)
+        report = run_experiments(config, jobs=2)
+        assert report.computed == 6 and report.from_cache == 0
+        assert render_table4(run_table4(config)) == serial_table
+
+        # Worker obs counters were merged into the parent registry...
+        assert registry.counter_value("experiments.cache.misses") == 6
+        assert registry.counter_value("experiments.disk_cache.writes") == 6
+        # ...and per-task wall clock landed in the parent histogram.
+        snapshot = registry.snapshot()[TASK_SECONDS_METRIC]
+        assert snapshot["count"] == 6
+        assert "computed=6" in report.summary()
+
+        # Warm rerun through the pool: all six tasks come from disk.
+        harness.clear_cache()
+        warm = run_experiments(config, jobs=2)
+        assert warm.computed == 0
+        assert all(t.source == "disk" for t in warm.tasks)
+        assert render_table4(run_table4(config)) == serial_table
+
+    def test_serial_runner_reports_memory_hits(self, fresh_harness):
+        config = tiny()
+        tasks = [ExperimentTask("oracle_like", "G1")]
+        first = run_experiments(config, tasks=tasks, jobs=1)
+        assert [t.source for t in first.tasks] == ["computed"]
+        second = run_experiments(config, tasks=tasks, jobs=1)
+        assert [t.source for t in second.tasks] == ["memory"]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_experiments(tiny(), jobs=0)

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.classification import G1
 from repro.engine.profiles import ORACLE_LIKE
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import tiny
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figures4_9 import FIGURE_LAYOUT, run_figure, tracking_error
 from repro.experiments.harness import run_class_experiment
@@ -18,15 +18,7 @@ from repro.experiments.states_ablation import run_states_ablation
 from repro.experiments.table5 import render_table5, run_table5, shape_violations
 from repro.experiments.table6 import run_table6
 
-TINY = ExperimentConfig(
-    scale=0.008,
-    seed=13,
-    unary_train=90,
-    join_train=90,
-    static_train=40,
-    test_count=30,
-    join_tables=("R1", "R2", "R3", "R4"),
-)
+TINY = tiny(seed=13)
 
 
 class TestFigure1:

@@ -172,6 +172,23 @@ class TestMetricsRegistry:
         registry.inc("c")
         assert registry.counter_value("c") == 1.0
 
+    def test_counters_lists_only_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("b", 2)
+        registry.inc("a", 3)
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        assert registry.counters() == {"a": 3.0, "b": 2.0}
+
+    def test_merge_counters_folds_worker_deltas_in(self):
+        parent = MetricsRegistry()
+        parent.inc("shared", 1)
+        parent.merge_counters({"shared": 4.0, "worker_only": 2.0, "zero": 0.0})
+        assert parent.counter_value("shared") == 5.0
+        assert parent.counter_value("worker_only") == 2.0
+        # Zero deltas create no metric at all.
+        assert "zero" not in parent.names()
+
     def test_reset_clears_everything(self):
         registry = MetricsRegistry()
         registry.inc("c")
