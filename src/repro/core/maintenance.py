@@ -20,7 +20,7 @@ whole point of the multi-states method itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from .. import obs
@@ -186,12 +186,17 @@ class ModelMaintainer:
         builder: CostModelBuilder,
         detector: ChangeDetector | None = None,
         rebuild_period_seconds: float | None = None,
+        on_rebuild: Callable[[str, BuildOutcome], None] | None = None,
     ) -> None:
         if rebuild_period_seconds is not None and rebuild_period_seconds <= 0:
             raise ValueError("rebuild_period_seconds must be positive")
         self.builder = builder
         self.detector = detector or ChangeDetector(builder.database)
         self.rebuild_period_seconds = rebuild_period_seconds
+        #: Called as ``on_rebuild(class_label, outcome)`` after every
+        #: (re)build — the hook the MDBS server uses to publish fresh
+        #: models into its versioned registry.
+        self.on_rebuild = on_rebuild
         self._registrations: dict[str, _Registration] = {}
         self.models: dict[str, BuildOutcome] = {}
         self.history: list[MaintenanceRecord] = []
@@ -273,4 +278,6 @@ class ModelMaintainer:
                 reasons=reasons,
             )
         )
+        if self.on_rebuild is not None:
+            self.on_rebuild(label, outcome)
         return outcome

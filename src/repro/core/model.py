@@ -115,6 +115,17 @@ class MultiStateCostModel:
         """Overall F-test on the training fit."""
         return self.f_pvalue is not None and self.f_pvalue < alpha
 
+    def validation_stats(self) -> dict:
+        """The training-fit statistics the model-lifecycle layer records
+        as provenance (R², SEE, F, sample size)."""
+        return {
+            "r_squared": self.r_squared,
+            "standard_error": self.standard_error,
+            "f_statistic": self.f_statistic,
+            "f_pvalue": self.f_pvalue,
+            "n_observations": self.n_observations,
+        }
+
     # -- inspection ------------------------------------------------------------
 
     def per_state_coefficients(self) -> np.ndarray:

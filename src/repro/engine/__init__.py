@@ -17,15 +17,15 @@ from .errors import (
     EngineError,
     ExecutionError,
     QueryError,
-    SchemaError,
     SQLSyntaxError,
+    SchemaError,
 )
 from .index import Index, IndexKind
 from .joins import hash_join, index_nested_loop_join, nested_loop_join, sort_merge_join
 from .metrics import AccessInfo, ExecutionMetrics
 from .optimizer import JoinPlan, UnaryPlan, choose_join_plan, choose_unary_plan
 from .pages import PageLayout
-from .predicate import TRUE, And, Comparison, KeyRange, Not, Or, Predicate
+from .predicate import And, Comparison, KeyRange, Not, Or, Predicate, TRUE
 from .profiles import DB2_LIKE, DBMSProfile, ORACLE_LIKE, get_profile
 from .query import JoinQuery, Query, SelectQuery
 from .schema import Column, TableSchema

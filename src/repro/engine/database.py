@@ -29,7 +29,7 @@ from .metrics import AccessInfo, ExecutionMetrics
 from .optimizer import JoinPlan, UnaryPlan, choose_join_plan, choose_unary_plan
 from .pages import PageLayout
 from .profiles import DBMSProfile, ORACLE_LIKE
-from .query import JoinQuery, Query, SelectQuery
+from .query import Query, SelectQuery
 from .schema import Column, TableSchema
 from .sql import parse_query
 from .table import ResultTable, Table

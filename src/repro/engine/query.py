@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .errors import QueryError
-from .predicate import TRUE, Predicate
+from .predicate import Predicate, TRUE
 from .schema import TableSchema
 
 

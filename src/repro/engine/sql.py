@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from .errors import SQLSyntaxError
-from .predicate import TRUE, And, Comparison, Not, Or, Predicate
+from .predicate import And, Comparison, Not, Or, Predicate, TRUE
 from .query import JoinQuery, Query, SelectQuery
 from .schema import TableSchema
 
@@ -246,7 +246,9 @@ class _Parser:
         qualifier, column = self._colref()
         token = self._next()
         if token.kind != "op":
-            raise SQLSyntaxError(f"expected comparison operator, got {token.value!r}", token.position)
+            raise SQLSyntaxError(
+                f"expected comparison operator, got {token.value!r}", token.position
+            )
         op = "!=" if token.value == "<>" else token.value
         value = self._literal()
         name = f"{qualifier}.{column}" if qualifier else column

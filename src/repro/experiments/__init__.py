@@ -27,19 +27,14 @@ from .harness import (
     set_disk_cache,
     stable_seed,
 )
-from .runner import (
-    ExperimentTask,
-    RunnerReport,
-    enumerate_class_tasks,
-    run_experiments,
-    task_seed,
-)
 from .model_forms import ModelFormsResult, render_model_forms, run_model_forms
 from .plan_quality import (
     PlanQualityResult,
     PlanQualityRound,
     render_plan_quality,
+    render_probe_cache_quality,
     run_plan_quality,
+    run_probe_cache_quality,
 )
 from .probing_estimation import (
     ProbingEstimationResult,
@@ -47,6 +42,13 @@ from .probing_estimation import (
     run_probing_estimation,
 )
 from .report import ascii_histogram, format_series, format_table
+from .runner import (
+    ExperimentTask,
+    RunnerReport,
+    enumerate_class_tasks,
+    run_experiments,
+    task_seed,
+)
 from .sample_size_ablation import (
     SampleSizeAblationResult,
     render_sample_size_ablation,
@@ -112,6 +114,7 @@ __all__ = [
     "render_figure10",
     "render_model_forms",
     "render_plan_quality",
+    "render_probe_cache_quality",
     "render_probing_estimation",
     "render_sample_size_ablation",
     "render_states_ablation",
@@ -124,6 +127,7 @@ __all__ = [
     "run_figure1",
     "run_model_forms",
     "run_plan_quality",
+    "run_probe_cache_quality",
     "run_probing_estimation",
     "run_sample_size_ablation",
     "run_states_ablation",

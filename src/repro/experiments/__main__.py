@@ -39,11 +39,16 @@ import time
 from .. import obs
 from .cache import DiskCache, default_cache_dir
 from .config import full, quick, tiny
-from .harness import cache_summary, set_disk_cache
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
+from .harness import cache_summary, set_disk_cache
 from .model_forms import render_model_forms, run_model_forms
-from .plan_quality import render_plan_quality, run_plan_quality
+from .plan_quality import (
+    render_plan_quality,
+    render_probe_cache_quality,
+    run_plan_quality,
+    run_probe_cache_quality,
+)
 from .probing_estimation import render_probing_estimation, run_probing_estimation
 from .report import format_series
 from .runner import enumerate_class_tasks, run_experiments
@@ -146,6 +151,11 @@ def _bench_plan_quality(config) -> None:
     print(render_plan_quality(run_plan_quality(config)))
 
 
+def _bench_probe_cache(config) -> None:
+    _banner("End-to-end: plan quality with fresh vs TTL-cached probing")
+    print(render_probe_cache_quality(run_probe_cache_quality(config)))
+
+
 def _bench_sample_size(config) -> None:
     _banner("Ablation: sample size (Proposition 4.1 / eq. (4))")
     print(render_sample_size_ablation(run_sample_size_ablation(config)))
@@ -162,6 +172,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("model_forms", _bench_model_forms),
     ("probing_estimation", _bench_probing_estimation),
     ("plan_quality", _bench_plan_quality),
+    ("probe_cache", _bench_probe_cache),
     ("sample_size_ablation", _bench_sample_size),
 )
 

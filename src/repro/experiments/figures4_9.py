@@ -18,8 +18,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.classification import QueryClass
-from ..engine.profiles import DBMSProfile
 from .config import ExperimentConfig
 from .harness import TestPoint, cached_class_experiment
 from .report import format_series

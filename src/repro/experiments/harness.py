@@ -16,9 +16,8 @@ table and figure benches can share one expensive run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 

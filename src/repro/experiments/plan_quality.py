@@ -18,6 +18,13 @@ For every round, *both* candidate plans (join left / join right) are
 executed from the identical simulated state (fork-and-rewind), giving
 their true costs; each approach is then charged the cost of the plan it
 *chose*.  The metric is regret versus the per-round optimal plan.
+
+:func:`run_probe_cache_quality` reuses the same harness for a serving
+trade-off instead of a modeling one: both approaches consult identical
+multi-states models, but one probes each site afresh every optimization
+(``ttl=0``) while the other serves contention readings from the
+:class:`~repro.mdbs.probing_service.ProbingService` cache within a TTL.
+The comparison shows what plan quality the probe-cost savings buy away.
 """
 
 from __future__ import annotations
@@ -34,12 +41,14 @@ from ..mdbs.agent import MDBSAgent
 from ..mdbs.catalog import GlobalCatalog
 from ..mdbs.gquery import GlobalJoinQuery
 from ..mdbs.optimizer import GlobalQueryOptimizer
+from ..mdbs.probing_service import ProbingService
 from ..mdbs.server import MDBSServer
 from ..workload.scenarios import make_site
 from .config import ExperimentConfig
 from .report import format_table
 
 APPROACHES = ("multi-states", "one-state")
+PROBE_CACHE_APPROACHES = ("fresh-probe", "cached-probe")
 
 
 @dataclass
@@ -65,6 +74,9 @@ class PlanQualityRound:
 @dataclass
 class PlanQualityResult:
     rounds: list[PlanQualityRound] = field(default_factory=list)
+    #: Probing queries actually executed per approach (only populated by
+    #: experiments where the approaches differ in probing policy).
+    probes_by_approach: dict[str, int] = field(default_factory=dict)
 
     def total_regret(self, approach: str) -> float:
         return sum(r.regret(approach) for r in self.rounds)
@@ -98,17 +110,13 @@ def _derive_models(site, builder, tables):
     return models
 
 
-def run_plan_quality(
-    config: ExperimentConfig | None = None,
-    rounds: int = 24,
-    gap_seconds: float = 900.0,
-) -> PlanQualityResult:
-    """Run the experiment; see the module docstring."""
-    config = config or ExperimentConfig()
-    tables = ["R1", "R2", "R3", "R4", "R5"]
-    # Identical engines at both sites: the ONLY asymmetry the optimizer
-    # can exploit is the current contention — which is exactly the signal
-    # one-state models cannot carry.
+def _make_site_pair(config: ExperimentConfig):
+    """Two identical-engine sites with independently moving loads.
+
+    Identical engines at both sites: the ONLY asymmetry the optimizer
+    can exploit is the current contention — which is exactly the signal
+    one-state models (or stale probe readings) cannot carry.
+    """
     left = make_site(
         "left_site",
         profile=ORACLE_LIKE,
@@ -123,26 +131,24 @@ def run_plan_quality(
         scale=config.scale,
         seed=config.seed + 22,
     )
-    server = MDBSServer()
-    catalogs = {}
-    site_models = {}
-    for site in (left, right):
-        server.register_agent(MDBSAgent(site.database))
-        builder = CostModelBuilder(site.database, config=config.builder)
-        site_models[site.name] = _derive_models(site, builder, tables)
-    for approach in APPROACHES:
-        catalog = GlobalCatalog()
-        # Share the schema facts; differ only in the stored cost models.
-        for site in (left, right):
-            catalog.register_site(site.name)
-            for facts in server.agents[site.name].export_table_facts():
-                catalog.register_table(facts)
-            for (label, model_approach), model in site_models[site.name].items():
-                if model_approach == approach:
-                    catalog.store_cost_model(site.name, model)
-        catalogs[approach] = catalog
+    return left, right
 
-    rng = np.random.default_rng(config.seed + 33)
+
+def _run_rounds(
+    server: MDBSServer,
+    left,
+    right,
+    tables: list[str],
+    optimizers: dict[str, GlobalQueryOptimizer],
+    base_optimizer: GlobalQueryOptimizer,
+    rounds: int,
+    gap_seconds: float,
+    seed: int,
+) -> PlanQualityResult:
+    """The shared evaluation loop: per round, execute both candidate
+    plans from the identical state (fork-and-rewind) for their true
+    costs, then let every approach choose from that same state."""
+    rng = np.random.default_rng(seed)
     result = PlanQualityResult()
     for _ in range(rounds):
         left.environment.advance(gap_seconds)
@@ -168,7 +174,6 @@ def run_plan_quality(
         snapshot = {
             site.name: site.database.save_state() for site in (left, right)
         }
-        base_optimizer = GlobalQueryOptimizer(catalogs["multi-states"], server.agents)
         candidates = base_optimizer.plans(query)
         observed_by_site = {}
         for plan in candidates:
@@ -179,10 +184,9 @@ def run_plan_quality(
 
         # Each approach chooses from the same state.
         chosen = {}
-        for approach in APPROACHES:
+        for approach, optimizer in optimizers.items():
             for site in (left, right):
                 site.database.restore_state(snapshot[site.name])
-            optimizer = GlobalQueryOptimizer(catalogs[approach], server.agents)
             chosen[approach] = optimizer.choose(query).join_site
         for site in (left, right):
             site.database.restore_state(snapshot[site.name])
@@ -197,28 +201,154 @@ def run_plan_quality(
     return result
 
 
-def render_plan_quality(result: PlanQualityResult) -> str:
-    headers = (
+def run_plan_quality(
+    config: ExperimentConfig | None = None,
+    rounds: int = 24,
+    gap_seconds: float = 900.0,
+) -> PlanQualityResult:
+    """Run the experiment; see the module docstring."""
+    config = config or ExperimentConfig()
+    tables = ["R1", "R2", "R3", "R4", "R5"]
+    left, right = _make_site_pair(config)
+    server = MDBSServer()
+    catalogs = {}
+    site_models = {}
+    for site in (left, right):
+        server.register_agent(MDBSAgent(site.database))
+        builder = CostModelBuilder(site.database, config=config.builder)
+        site_models[site.name] = _derive_models(site, builder, tables)
+    for approach in APPROACHES:
+        catalog = GlobalCatalog()
+        # Share the schema facts; differ only in the stored cost models.
+        for site in (left, right):
+            catalog.register_site(site.name)
+            for facts in server.agents[site.name].export_table_facts():
+                catalog.register_table(facts)
+            for (label, model_approach), model in site_models[site.name].items():
+                if model_approach == approach:
+                    catalog.store_cost_model(site.name, model)
+        catalogs[approach] = catalog
+
+    optimizers = {
+        approach: GlobalQueryOptimizer(catalogs[approach], server.agents)
+        for approach in APPROACHES
+    }
+    return _run_rounds(
+        server,
+        left,
+        right,
+        tables,
+        optimizers,
+        base_optimizer=GlobalQueryOptimizer(catalogs["multi-states"], server.agents),
+        rounds=rounds,
+        gap_seconds=gap_seconds,
+        seed=config.seed + 33,
+    )
+
+
+def run_probe_cache_quality(
+    config: ExperimentConfig | None = None,
+    rounds: int = 16,
+    gap_seconds: float = 900.0,
+    ttl: float = 1800.0,
+) -> PlanQualityResult:
+    """Fresh-probe vs cached-probe plan choices over identical models.
+
+    Both approaches consult the same multi-states models; they differ
+    only in the :class:`~repro.mdbs.probing_service.ProbingService` TTL.
+    With ``gap_seconds=900`` and ``ttl=1800`` the cached approach serves
+    a stale contention reading for roughly every other optimization —
+    ``probes_by_approach`` records how many probes each one executed.
+    """
+    config = config or ExperimentConfig()
+    tables = ["R1", "R2", "R3", "R4", "R5"]
+    left, right = _make_site_pair(config)
+    server = MDBSServer()
+    for site in (left, right):
+        server.register_agent(MDBSAgent(site.database))
+        builder = CostModelBuilder(site.database, config=config.builder)
+        for query_class, count in ((G1, 120), (G3, 130)):
+            queries = site.generator.queries_for(query_class, count, tables=tables)
+            server.store_cost_model(
+                site.name, builder.build(query_class, queries, "iupma").model
+            )
+    services = {
+        "fresh-probe": ProbingService(server.agents, ttl=0.0),
+        "cached-probe": ProbingService(server.agents, ttl=ttl),
+    }
+    optimizers = {
+        approach: GlobalQueryOptimizer(
+            server.catalog, server.agents, probing=services[approach]
+        )
+        for approach in PROBE_CACHE_APPROACHES
+    }
+    result = _run_rounds(
+        server,
+        left,
+        right,
+        tables,
+        optimizers,
+        # A dedicated enumerator keeps the per-approach probe counts
+        # clean: candidate enumeration is shared bookkeeping, not part
+        # of either approach's serving cost.
+        base_optimizer=GlobalQueryOptimizer(server.catalog, server.agents),
+        rounds=rounds,
+        gap_seconds=gap_seconds,
+        seed=config.seed + 44,
+    )
+    result.probes_by_approach = {
+        approach: sum(services[approach].probes_executed.values())
+        for approach in PROBE_CACHE_APPROACHES
+    }
+    return result
+
+
+def render_plan_quality(
+    result: PlanQualityResult,
+    approaches: tuple[str, ...] = APPROACHES,
+    title: str | None = None,
+) -> str:
+    headers = [
         "approach",
         "optimal plans %",
         "total regret (s)",
         "chosen total (s)",
-    )
-    rows = [
-        (
+    ]
+    with_probes = bool(result.probes_by_approach)
+    if with_probes:
+        headers.append("probes executed")
+    rows = []
+    for approach in approaches:
+        row = [
             approach,
             result.pct_optimal(approach),
             result.total_regret(approach),
             result.total_chosen_seconds(approach),
-        )
-        for approach in APPROACHES
-    ]
-    rows.append(("(oracle: always best)", 100.0, 0.0, result.total_best_seconds))
+        ]
+        if with_probes:
+            row.append(result.probes_by_approach.get(approach, 0))
+        rows.append(tuple(row))
+    oracle = ["(oracle: always best)", 100.0, 0.0, result.total_best_seconds]
+    if with_probes:
+        oracle.append("-")
+    rows.append(tuple(oracle))
     return format_table(
         headers,
         rows,
-        title=(
+        title=title
+        or (
             f"Plan quality over {len(result.rounds)} global joins with "
             "independently loaded sites"
+        ),
+    )
+
+
+def render_probe_cache_quality(result: PlanQualityResult) -> str:
+    return render_plan_quality(
+        result,
+        approaches=PROBE_CACHE_APPROACHES,
+        title=(
+            f"Plan quality over {len(result.rounds)} global joins: "
+            "per-optimization probes vs TTL-cached probe readings"
         ),
     )

@@ -5,14 +5,32 @@ during query optimization" (§1).  The global catalog stores, per local
 site: the globally visible schema facts (table cardinalities, tuple
 lengths, column statistics, index definitions) and the derived
 multi-states cost models, keyed by query class.
+
+Cost models are held in a versioned
+:class:`~repro.mdbs.registry.CostModelRegistry`; the flat
+``store_cost_model`` / ``cost_model`` surface below serves the *active*
+version of each ``(site, class)``, so pre-lifecycle callers keep working
+unchanged while maintenance can publish, activate, and roll back
+versions underneath them.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable
 
 from ..core.model import MultiStateCostModel
+from .registry import (
+    CostModelRegistry,
+    CostModelRegistryError,
+    ModelProvenance,
+    ModelVersion,
+)
+
+#: Version of the on-disk cost-model payload this code writes.
+MODEL_SCHEMA_VERSION = 2
 
 
 class GlobalCatalogError(KeyError):
@@ -35,12 +53,12 @@ class TableFacts:
 
 
 class GlobalCatalog:
-    """Site registry + schema facts + cost-model store."""
+    """Site registry + schema facts + versioned cost-model store."""
 
     def __init__(self) -> None:
         self._sites: list[str] = []
         self._tables: dict[tuple[str, str], TableFacts] = {}
-        self._models: dict[tuple[str, str], MultiStateCostModel] = {}
+        self.registry = CostModelRegistry()
 
     # -- sites ---------------------------------------------------------
 
@@ -79,63 +97,102 @@ class GlobalCatalog:
     # -- cost models --------------------------------------------------------
 
     def store_cost_model(self, site: str, model: MultiStateCostModel) -> None:
+        """Publish *model* as a new active version (legacy flat surface)."""
+        self.publish_cost_model(site, model)
+
+    def publish_cost_model(
+        self,
+        site: str,
+        model: MultiStateCostModel,
+        provenance: ModelProvenance | None = None,
+        activate: bool = True,
+    ) -> ModelVersion:
+        """Publish *model* into the registry; returns the new version."""
         self._require_site(site)
-        self._models[(site, model.class_label)] = model
+        return self.registry.publish(site, model, provenance, activate=activate)
 
     def cost_model(self, site: str, class_label: str) -> MultiStateCostModel:
+        """The *active* model version for (site, class)."""
         try:
-            return self._models[(site, class_label)]
-        except KeyError:
+            return self.registry.active_model(site, class_label)
+        except CostModelRegistryError:
             raise GlobalCatalogError(
                 f"no cost model for class {class_label!r} at site {site!r}"
             ) from None
 
+    def rollback_cost_model(self, site: str, class_label: str) -> ModelVersion:
+        """Re-activate the previously active version for (site, class)."""
+        try:
+            return self.registry.rollback(site, class_label)
+        except CostModelRegistryError as exc:
+            raise GlobalCatalogError(str(exc)) from None
+
+    def cost_model_history(self, site: str, class_label: str) -> list[ModelVersion]:
+        return self.registry.history(site, class_label)
+
     def has_cost_model(self, site: str, class_label: str) -> bool:
-        return (site, class_label) in self._models
+        return self.registry.has_model(site, class_label)
 
     def cost_models_at(self, site: str) -> list[MultiStateCostModel]:
         self._require_site(site)
-        return [m for (s, _), m in sorted(self._models.items()) if s == site]
+        return self.registry.active_models_at(site)
 
     # -- persistence ---------------------------------------------------------
 
     def export_models(self) -> dict:
-        """Serializable snapshot of every stored cost model."""
+        """Serializable snapshot of every stored cost-model version."""
         return {
-            f"{site}/{label}": model.to_dict()
-            for (site, label), model in sorted(self._models.items())
+            "schema_version": MODEL_SCHEMA_VERSION,
+            "models": self.registry.export(),
         }
 
-    def import_models(self, payload: dict, sites: Iterable[str] = ()) -> None:
+    def import_models(self, payload: dict, sites: Iterable[str] = ()) -> int:
+        """Load an :meth:`export_models` payload; returns models loaded.
+
+        Accepts the current versioned format (``schema_version`` 2) and
+        the legacy flat ``{"site/label": model_dict}`` format (implicit
+        version 1).  Unknown schema versions are rejected — silently
+        misreading a future payload as models would corrupt the serving
+        path.
+        """
         for site in sites:
             self.register_site(site)
-        for key, model_dict in payload.items():
-            site, _, _ = key.partition("/")
-            self.register_site(site)
-            self.store_cost_model(site, MultiStateCostModel.from_dict(model_dict))
+        if "schema_version" not in payload:
+            records = payload  # legacy flat v1 payload
+            for key, model_dict in records.items():
+                site, _, _ = key.partition("/")
+                self.register_site(site)
+                self.registry.publish(
+                    site, MultiStateCostModel.from_dict(model_dict)
+                )
+            return len(records)
+        version = payload["schema_version"]
+        if version != MODEL_SCHEMA_VERSION:
+            raise GlobalCatalogError(
+                f"unsupported cost-model schema_version {version!r} "
+                f"(this build reads {MODEL_SCHEMA_VERSION} and the legacy "
+                "flat format)"
+            )
+        records = payload["models"]
+        for key in records:
+            self.register_site(key.partition("/")[0])
+        return self.registry.import_payload(records)
 
     def save_models(self, path) -> None:
-        """Persist every stored cost model as JSON at *path*.
+        """Persist every stored cost-model version as JSON at *path*.
 
         The derived models are the expensive artifact of the whole
         method — a production MDBS derives them offline and reloads them
         at server start, exactly like the paper's "kept in the MDBS
         catalog and utilized during query optimization".
         """
-        import json
-        from pathlib import Path
-
         Path(path).write_text(json.dumps(self.export_models(), indent=2))
 
     def load_models(self, path) -> int:
         """Load cost models previously saved with :meth:`save_models`.
 
-        Returns the number of models loaded.  Sites named in the file are
-        registered as needed.
+        Returns the number of (site, class) models loaded.  Sites named
+        in the file are registered as needed.
         """
-        import json
-        from pathlib import Path
-
         payload = json.loads(Path(path).read_text())
-        self.import_models(payload)
-        return len(payload)
+        return self.import_models(payload)

@@ -199,11 +199,12 @@ class MultiwayOptimizer:
 
     def plan(self, query: MultiJoinQuery) -> MultiwayPlan:
         optimizer = self.server.optimizer()
-        # Per-site probing costs, sampled once per optimization.
-        probes = {
-            operand.site: self.server.agents[operand.site].probing_cost()
-            for operand in query.operands
-        }
+        # Per-site probing costs, sampled at most once per site per
+        # optimization (coalesced through the probing service).
+        probes: dict[str, float | None] = {}
+        for operand in query.operands:
+            if operand.site not in probes:
+                probes[operand.site] = optimizer.probing_cost(operand.site)
 
         # Local component selections and their estimates.
         component_queries: dict[str, SelectQuery] = {}
@@ -261,14 +262,12 @@ class MultiwayOptimizer:
                     f"{what} to {join_site}",
                     self.network.transfer_seconds(shipped_rows * shipped_width),
                 )
-                model = self.catalog.cost_model(join_site, self.join_class_label)
-                probe = probes[join_site]
-                state = model.state_for(probe)
-                join_est = CostEstimate(
-                    f"join at {join_site} ({self.join_class_label}, s{state})",
-                    max(0.0, model.predict(join_values, probe)),
-                    self.join_class_label,
-                    state,
+                if join_site not in probes:
+                    # A join site that hosts no operand (possible after
+                    # temp-table shipping) still needs a contention read.
+                    probes[join_site] = optimizer.probing_cost(join_site)
+                join_est = optimizer.estimate_join(
+                    join_site, join_values, probes[join_site], self.join_class_label
                 )
                 options.append((join_site, what, [ship, join_est]))
             join_site, what, estimates = min(

@@ -9,26 +9,30 @@ candidate's total cost as
     + shipping the remote intermediate to the join site
     + the join at the join site,
 
-with every local cost estimated by the derived multi-states cost model
-of the query's class at that site, resolved to the current contention
-state by a fresh probing cost.  Explanatory-variable values come from
-global-catalog statistics only (cardinalities, tuple lengths, selectivity
-estimates) — nothing that local autonomy would hide.
+with every local cost estimated by the *active* derived multi-states
+cost model of the query's class at that site, resolved to the current
+contention state by a probing cost obtained through the
+:class:`~repro.mdbs.probing_service.ProbingService` (one probe per site
+per optimization; cached within the service's TTL).  Explanatory-variable
+values come from global-catalog statistics only (cardinalities, tuple
+lengths, selectivity estimates) — nothing that local autonomy would hide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.classification import QueryClass
+from .. import obs
+from ..core.classification import QueryClass, class_by_label
 from ..core.model import MultiStateCostModel
 from ..engine.predicate import Comparison, extract_key_range
 from ..engine.query import SelectQuery
 from ..engine.schema import ColumnStatistics, TableStatistics
 from .agent import MDBSAgent
-from .catalog import GlobalCatalog, TableFacts
+from .catalog import GlobalCatalog, GlobalCatalogError, TableFacts
 from .gquery import ComponentQueries, GlobalJoinQuery, decompose
 from .network import NetworkModel
+from .probing_service import ProbingService
 
 
 def facts_to_statistics(facts: TableFacts) -> TableStatistics:
@@ -167,11 +171,56 @@ class GlobalQueryOptimizer:
         agents: dict[str, MDBSAgent],
         network: NetworkModel | None = None,
         prefer_estimated_probing: bool = False,
+        probing: ProbingService | None = None,
     ) -> None:
         self.catalog = catalog
         self.agents = agents
         self.network = network or NetworkModel()
         self.prefer_estimated_probing = prefer_estimated_probing
+        # A private ttl=0 service reproduces the pre-lifecycle behavior
+        # exactly: every optimization probes each involved site afresh.
+        self.probing = probing or ProbingService(agents)
+
+    # -- probing + model resolution -----------------------------------------
+
+    def probing_cost(self, site: str) -> float | None:
+        """This optimization's probing cost for *site* (None = degraded)."""
+        return self.probing.probing_cost(
+            site, prefer_estimated=self.prefer_estimated_probing
+        )
+
+    def _model_for(self, site: str, query_class: QueryClass) -> MultiStateCostModel:
+        """The active model for the class — or a same-family stand-in.
+
+        A site can transiently lack a model for a class (not yet derived,
+        or dropped by maintenance).  Classes in the same family share the
+        explanatory-variable set, so any same-family model at the site
+        can still produce an order-of-magnitude estimate; that beats
+        aborting the whole plan enumeration.
+        """
+        try:
+            return self.catalog.cost_model(site, query_class.label)
+        except GlobalCatalogError:
+            for model in self.catalog.cost_models_at(site):
+                if model.family == query_class.family:
+                    obs.inc("mdbs.optimizer.class_fallback")
+                    return model
+            raise
+
+    @staticmethod
+    def _resolve(
+        model: MultiStateCostModel,
+        values: dict[str, float],
+        probing_cost: float | None,
+    ) -> tuple[int, float]:
+        """(state, seconds) — static middle-state prediction when no
+        probing cost could be determined (the chain's last fallback)."""
+        if probing_cost is None:
+            obs.inc("mdbs.optimizer.static_predictions")
+            state = model.num_states // 2
+        else:
+            state = model.state_for(probing_cost)
+        return state, max(0.0, model.predict_in_state(values, state))
 
     # -- local estimation ----------------------------------------------------
 
@@ -183,11 +232,10 @@ class GlobalQueryOptimizer:
         query_class = agent.classify(query)
         facts = self.catalog.table(site, query.table)
         values = estimate_unary_variables(facts, query, query_class)
-        model = self.catalog.cost_model(site, query_class.label)
+        model = self._model_for(site, query_class)
         if probing_cost is None:
-            probing_cost = agent.probing_cost(self.prefer_estimated_probing)
-        state = model.state_for(probing_cost)
-        seconds = max(0.0, model.predict(values, probing_cost))
+            probing_cost = self.probing_cost(site)
+        state, seconds = self._resolve(model, values, probing_cost)
         return (
             CostEstimate(
                 f"select {query.table} at {site} ({query_class.label}, s{state})",
@@ -198,16 +246,16 @@ class GlobalQueryOptimizer:
             values,
         )
 
-    def _estimate_temp_join(
+    def estimate_join(
         self,
         site: str,
         values: dict[str, float],
-        probing_cost: float,
+        probing_cost: float | None,
         join_class_label: str = "G3",
     ) -> CostEstimate:
-        model = self.catalog.cost_model(site, join_class_label)
-        state = model.state_for(probing_cost)
-        seconds = max(0.0, model.predict(values, probing_cost))
+        """Estimated cost of an intermediate-by-intermediate join at *site*."""
+        model = self._model_for(site, class_by_label(join_class_label))
+        state, seconds = self._resolve(model, values, probing_cost)
         return CostEstimate(
             f"join at {site} ({join_class_label}, s{state})",
             seconds,
@@ -227,12 +275,13 @@ class GlobalQueryOptimizer:
 
         # One probing cost per site per optimization, shared across the
         # candidate plans (the contention state is a property of the site,
-        # not of the plan).
-        left_probe = self.agents[query.left_site].probing_cost(
-            self.prefer_estimated_probing
-        )
-        right_probe = self.agents[query.right_site].probing_cost(
-            self.prefer_estimated_probing
+        # not of the plan).  The service additionally caches readings
+        # across optimizations when its TTL is non-zero.
+        left_probe = self.probing_cost(query.left_site)
+        right_probe = (
+            left_probe
+            if query.right_site == query.left_site
+            else self.probing_cost(query.right_site)
         )
 
         left_est, left_vars = self.estimate_select(
@@ -264,7 +313,7 @@ class GlobalQueryOptimizer:
                 f"ship {int(shipped_rows)} tuples to {site}",
                 self.network.transfer_seconds(shipped_rows * shipped_width),
             )
-            join_est = self._estimate_temp_join(site, join_values, probe)
+            join_est = self.estimate_join(site, join_values, probe)
             plans.append(
                 GlobalPlan(
                     query=query,

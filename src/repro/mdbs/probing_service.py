@@ -1,0 +1,136 @@
+"""The probing service: cached, coalesced, degradation-tolerant probing.
+
+The multi-states method resolves a model's contention state from a
+*current* probing cost (§3.3), which in the seed architecture meant the
+global optimizer executed probing queries straight through the agents.
+This service centralizes that serving-side concern:
+
+* **cache** — one probing-cost reading per site, keyed on the site's
+  *simulated* time with a configurable TTL.  ``ttl=0`` disables caching
+  entirely, reproducing the always-fresh-probe behavior byte for byte;
+* **coalescing** — callers fetch a site's reading once per optimization
+  and share it across candidate plans, so one ``choose()`` executes at
+  most one probing query per site;
+* **graceful degradation** — when a probe cannot be executed the
+  service falls back, in order: observed probe → monitor-estimated
+  probe (paper eq. (2)) → last-known reading → *no reading*
+  (``cost=None``), which the optimizer turns into a static one-state
+  prediction.  Every fallback level taken is counted in
+  ``mdbs.probing.source.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import obs
+from .agent import MDBSAgent
+
+#: Fallback levels, in degradation order.
+PROBE_SOURCES = ("observed", "estimated", "last_known", "static")
+
+
+@dataclass(frozen=True)
+class ProbeReading:
+    """One probing-cost determination for a site.
+
+    ``cost`` is None only at the last fallback level ("static"): no
+    probe could be executed and no previous reading exists, so the
+    consumer must fall back to a contention-agnostic prediction.
+    """
+
+    cost: float | None
+    source: str  # one of PROBE_SOURCES
+    at_time: float  # simulated time of the determination
+
+
+class ProbingService:
+    """Per-site probing costs with a simulated-time TTL cache."""
+
+    def __init__(
+        self,
+        agents: dict[str, MDBSAgent],
+        ttl: float = 0.0,
+        prefer_estimated: bool = False,
+    ) -> None:
+        if ttl < 0:
+            raise ValueError("ttl must be >= 0 (0 disables the cache)")
+        #: Live mapping shared with the owner (e.g. the MDBS server), so
+        #: sites registered later are immediately probe-able.
+        self.agents = agents
+        self.ttl = float(ttl)
+        self.prefer_estimated = prefer_estimated
+        self._cache: dict[str, ProbeReading] = {}
+        #: Probes actually executed (observed or estimated), per site —
+        #: local bookkeeping for experiments; obs counters carry the
+        #: global view.
+        self.probes_executed: dict[str, int] = {}
+        self.cache_hits = 0
+
+    # -- the serving API -------------------------------------------------
+
+    def probing_cost(self, site: str, prefer_estimated: bool | None = None) -> float | None:
+        """Current probing cost for *site* (None = degrade to static)."""
+        return self.probe(site, prefer_estimated).cost
+
+    def probe(self, site: str, prefer_estimated: bool | None = None) -> ProbeReading:
+        """Current :class:`ProbeReading` for *site*, cached within the TTL."""
+        try:
+            agent = self.agents[site]
+        except KeyError:
+            raise KeyError(f"no agent registered for site {site!r}") from None
+        now = agent.database.environment.now
+        cached = self._cache.get(site)
+        if (
+            cached is not None
+            and self.ttl > 0
+            and 0.0 <= now - cached.at_time <= self.ttl
+        ):
+            self.cache_hits += 1
+            obs.inc("mdbs.probing.cache_hits")
+            return cached
+        obs.inc("mdbs.probing.cache_misses")
+        reading = self._acquire(agent, now, prefer_estimated)
+        if reading.cost is not None:
+            self._cache[site] = reading
+        obs.set_gauge("mdbs.probing.cache_size", len(self._cache))
+        return reading
+
+    def invalidate(self, site: str | None = None) -> None:
+        """Drop cached readings (one site, or all of them)."""
+        if site is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(site, None)
+        obs.set_gauge("mdbs.probing.cache_size", len(self._cache))
+
+    # -- acquisition + degradation chain ---------------------------------
+
+    def _acquire(
+        self, agent: MDBSAgent, now: float, prefer_estimated: bool | None
+    ) -> ProbeReading:
+        prefer = self.prefer_estimated if prefer_estimated is None else prefer_estimated
+        modes = ("estimated", "observed") if prefer else ("observed", "estimated")
+        for mode in modes:
+            try:
+                if mode == "observed":
+                    cost = agent.observed_probing_cost()
+                else:
+                    cost = agent.estimated_probing_cost()
+            except Exception:
+                # Degradation is the contract here: a failed probe (the
+                # probe table vanished, the estimator is uncalibrated)
+                # must not fail the optimization that asked for it.
+                continue
+            self.probes_executed[agent.site] = (
+                self.probes_executed.get(agent.site, 0) + 1
+            )
+            obs.inc(f"mdbs.probing.executed.{agent.site}")
+            obs.inc(f"mdbs.probing.source.{mode}")
+            return ProbeReading(cost, mode, now)
+        last = self._cache.get(agent.site)
+        if last is not None and last.cost is not None:
+            obs.inc("mdbs.probing.source.last_known")
+            return ProbeReading(last.cost, "last_known", now)
+        obs.inc("mdbs.probing.source.static")
+        return ProbeReading(None, "static", now)

@@ -1,0 +1,347 @@
+"""Versioned cost-model registry: the training-side/serving-side seam.
+
+The paper keeps derived multi-states cost models "in the MDBS catalog"
+(§5) and prescribes periodic re-derivation when occasionally-changing
+factors drift (§2).  Re-derivation only pays off if the serving side can
+adopt a fresh model — and abandon it again when it turns out worse than
+its predecessor.  This module supplies that lifecycle layer:
+
+* :class:`ModelProvenance` — where a model artifact came from: the
+  builder-config fingerprint, sample size, validation statistics
+  (R², SEE), the simulated time of derivation, and the source
+  state-determination algorithm;
+* :class:`ModelVersion` — one immutable published artifact, numbered
+  per ``(site, class)``;
+* :class:`CostModelRegistry` — the versioned store itself, with an
+  active-version pointer per ``(site, class)`` and
+  ``publish`` / ``activate`` / ``rollback`` / ``history`` operations,
+  plus a JSON payload format that round-trips every version.
+
+:class:`~repro.mdbs.catalog.GlobalCatalog` delegates its cost-model
+surface here, so every existing caller transparently serves the active
+version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from .. import obs
+from ..core.model import MultiStateCostModel
+
+
+class CostModelRegistryError(KeyError):
+    """A requested model, version, or rollback target does not exist."""
+
+
+def config_fingerprint(config: object) -> str:
+    """A short stable fingerprint of a builder configuration.
+
+    Dataclass ``repr`` output is deterministic for the plain
+    numeric/enum fields a :class:`~repro.core.builder.BuilderConfig`
+    holds, which makes it a serviceable canonical form without pulling
+    in a schema.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ModelProvenance:
+    """How one published model version was derived."""
+
+    #: Simulated time at derivation (None when unknown, e.g. imports
+    #: from a legacy payload).
+    derived_at: float | None = None
+    #: State-determination algorithm ("iupma" | "icma" | "static").
+    algorithm: str = "unknown"
+    #: Number of sample queries behind the fit.
+    sample_size: int = 0
+    #: Validation statistics of the training fit.
+    r_squared: float = float("nan")
+    standard_error: float = float("nan")
+    #: Fingerprint of the builder config that produced the model
+    #: (:func:`config_fingerprint`); None when not derived in-process.
+    config_hash: str | None = None
+
+    @classmethod
+    def from_model(
+        cls,
+        model: MultiStateCostModel,
+        derived_at: float | None = None,
+        config_hash: str | None = None,
+    ) -> "ModelProvenance":
+        """Provenance recoverable from the model artifact itself."""
+        stats = model.validation_stats()
+        return cls(
+            derived_at=derived_at,
+            algorithm=model.algorithm,
+            sample_size=int(stats["n_observations"]),
+            r_squared=float(stats["r_squared"]),
+            standard_error=float(stats["standard_error"]),
+            config_hash=config_hash,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "derived_at": self.derived_at,
+            "algorithm": self.algorithm,
+            "sample_size": self.sample_size,
+            "r_squared": self.r_squared,
+            "standard_error": self.standard_error,
+            "config_hash": self.config_hash,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelProvenance":
+        return cls(
+            derived_at=payload.get("derived_at"),
+            algorithm=payload.get("algorithm", "unknown"),
+            sample_size=int(payload.get("sample_size", 0)),
+            r_squared=float(payload.get("r_squared", float("nan"))),
+            standard_error=float(payload.get("standard_error", float("nan"))),
+            config_hash=payload.get("config_hash"),
+        )
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published, immutable model artifact."""
+
+    site: str
+    class_label: str
+    version: int
+    model: MultiStateCostModel
+    provenance: ModelProvenance
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "provenance": self.provenance.to_dict(),
+            "model": self.model.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, site: str, class_label: str, payload: dict) -> "ModelVersion":
+        return cls(
+            site=site,
+            class_label=class_label,
+            version=int(payload["version"]),
+            model=MultiStateCostModel.from_dict(payload["model"]),
+            provenance=ModelProvenance.from_dict(payload.get("provenance", {})),
+        )
+
+
+class CostModelRegistry:
+    """Versioned model artifacts with an active pointer per (site, class).
+
+    ``publish`` appends a new version (and, by default, activates it,
+    remembering the previously active version so ``rollback`` can
+    restore it).  All read paths — and therefore the whole serving side
+    of the MDBS — go through :meth:`active_model`.
+    """
+
+    def __init__(self) -> None:
+        self._versions: dict[tuple[str, str], list[ModelVersion]] = {}
+        #: Active version number per key; absent = nothing active.
+        self._active: dict[tuple[str, str], int] = {}
+        #: Previously active version numbers, newest last (rollback stack).
+        self._previous: dict[tuple[str, str], list[int]] = {}
+
+    # -- write path ------------------------------------------------------
+
+    def publish(
+        self,
+        site: str,
+        model: MultiStateCostModel,
+        provenance: ModelProvenance | None = None,
+        activate: bool = True,
+    ) -> ModelVersion:
+        """Append *model* as the next version for its (site, class)."""
+        key = (site, model.class_label)
+        versions = self._versions.setdefault(key, [])
+        number = versions[-1].version + 1 if versions else 1
+        entry = ModelVersion(
+            site=site,
+            class_label=model.class_label,
+            version=number,
+            model=model,
+            provenance=provenance or ModelProvenance.from_model(model),
+        )
+        versions.append(entry)
+        obs.inc("mdbs.registry.published")
+        if activate:
+            self.activate(site, model.class_label, number)
+        self._update_gauges()
+        return entry
+
+    def activate(self, site: str, class_label: str, version: int) -> ModelVersion:
+        """Make *version* the one :meth:`active_model` serves."""
+        key = (site, class_label)
+        entry = self.version(site, class_label, version)
+        current = self._active.get(key)
+        if current is not None and current != version:
+            self._previous.setdefault(key, []).append(current)
+        self._active[key] = version
+        obs.inc("mdbs.registry.activations")
+        return entry
+
+    def rollback(self, site: str, class_label: str) -> ModelVersion:
+        """Re-activate the previously active version.
+
+        Falls back to the next-lower version number when no activation
+        history exists (e.g. right after an import).
+        """
+        key = (site, class_label)
+        current = self._active.get(key)
+        if current is None:
+            raise CostModelRegistryError(
+                f"no active cost model for {class_label!r} at {site!r}"
+            )
+        stack = self._previous.get(key, [])
+        if stack:
+            target = stack.pop()
+        else:
+            older = [v.version for v in self._versions[key] if v.version < current]
+            if not older:
+                raise CostModelRegistryError(
+                    f"no earlier version of {class_label!r} at {site!r} to roll back to"
+                )
+            target = max(older)
+        self._active[key] = target
+        obs.inc("mdbs.registry.rollbacks")
+        return self.version(site, class_label, target)
+
+    def drop_site(self, site: str) -> None:
+        """Forget every version for *site* (e.g. a deregistered site)."""
+        for key in [k for k in self._versions if k[0] == site]:
+            self._versions.pop(key, None)
+            self._active.pop(key, None)
+            self._previous.pop(key, None)
+        self._update_gauges()
+
+    # -- read path -------------------------------------------------------
+
+    def has_model(self, site: str, class_label: str) -> bool:
+        return (site, class_label) in self._active
+
+    def active_version(self, site: str, class_label: str) -> ModelVersion:
+        """The currently served version for (site, class)."""
+        key = (site, class_label)
+        try:
+            number = self._active[key]
+        except KeyError:
+            raise CostModelRegistryError(
+                f"no active cost model for {class_label!r} at {site!r}"
+            ) from None
+        return self.version(site, class_label, number)
+
+    def active_model(self, site: str, class_label: str) -> MultiStateCostModel:
+        return self.active_version(site, class_label).model
+
+    def version(self, site: str, class_label: str, version: int) -> ModelVersion:
+        for entry in self._versions.get((site, class_label), ()):
+            if entry.version == version:
+                return entry
+        raise CostModelRegistryError(
+            f"no version {version} of {class_label!r} at {site!r}"
+        )
+
+    def history(self, site: str, class_label: str) -> list[ModelVersion]:
+        """Every published version for (site, class), oldest first."""
+        return list(self._versions.get((site, class_label), ()))
+
+    def active_models_at(self, site: str) -> list[MultiStateCostModel]:
+        return [
+            self.active_model(s, label)
+            for (s, label) in sorted(self._active)
+            if s == site
+        ]
+
+    def keys(self) -> list[tuple[str, str]]:
+        return sorted(self._versions)
+
+    def __iter__(self) -> Iterator[ModelVersion]:
+        for key in sorted(self._versions):
+            yield from self._versions[key]
+
+    def __len__(self) -> int:
+        """Total number of published versions across all keys."""
+        return sum(len(v) for v in self._versions.values())
+
+    # -- persistence -----------------------------------------------------
+
+    def export(self) -> dict:
+        """JSON-compatible payload carrying every version + active pointers."""
+        return {
+            f"{site}/{label}": {
+                "active": self._active.get((site, label)),
+                "versions": [
+                    entry.to_dict() for entry in self._versions[(site, label)]
+                ],
+            }
+            for (site, label) in sorted(self._versions)
+        }
+
+    def import_payload(self, payload: dict) -> int:
+        """Load an :meth:`export` payload; returns the number of keys loaded.
+
+        Versions and active pointers round-trip; the rollback stack does
+        not (after an import, :meth:`rollback` falls back to the
+        next-lower version number).
+        """
+        for key, record in payload.items():
+            site, _, label = key.partition("/")
+            versions = [
+                ModelVersion.from_dict(site, label, entry)
+                for entry in record["versions"]
+            ]
+            versions.sort(key=lambda entry: entry.version)
+            self._versions[(site, label)] = versions
+            active = record.get("active")
+            if active is None and versions:
+                active = versions[-1].version
+            if active is not None:
+                self._active[(site, label)] = int(active)
+            self._previous.pop((site, label), None)
+        self._update_gauges()
+        return len(payload)
+
+    # -- observability ---------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        obs.set_gauge("mdbs.registry.models", len(self._versions))
+        obs.set_gauge("mdbs.registry.versions", len(self))
+
+
+@dataclass(frozen=True)
+class _ProvenanceSummaryRow:
+    """One line of :func:`describe_registry` (kept for tooling reuse)."""
+
+    site: str
+    class_label: str
+    active: int
+    versions: int
+    algorithm: str
+    r_squared: float
+
+
+def describe_registry(registry: CostModelRegistry) -> str:
+    """A compact human-readable listing of the registry's contents."""
+    lines = ["site/class            active  versions  algorithm  R²"]
+    for site, label in registry.keys():
+        entry = registry.active_version(site, label)
+        row = _ProvenanceSummaryRow(
+            site=site,
+            class_label=label,
+            active=entry.version,
+            versions=len(registry.history(site, label)),
+            algorithm=entry.provenance.algorithm,
+            r_squared=entry.provenance.r_squared,
+        )
+        lines.append(
+            f"{row.site}/{row.class_label:<12} v{row.active:<6} {row.versions:<9} "
+            f"{row.algorithm:<10} {row.r_squared:.4f}"
+        )
+    return "\n".join(lines)

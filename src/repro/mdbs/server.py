@@ -1,25 +1,41 @@
 """The MDBS global server: the CORDS-style front end of Figure 3.
 
 Registers per-site agents, maintains the global catalog (schema facts +
-derived cost models), optimizes global queries with the
+a versioned cost-model registry), optimizes global queries with the
 :class:`~repro.mdbs.optimizer.GlobalQueryOptimizer`, and executes the
 chosen plan for real: local component selections at each site, shipping
 of one intermediate over the modeled network, and the join over
 materialized temporaries at the join site.
+
+The server also owns the two serving-side lifecycle components:
+
+* a :class:`~repro.mdbs.probing_service.ProbingService` shared by every
+  optimizer it hands out (``probe_ttl`` controls the cache; 0 = always
+  probe afresh, the pre-lifecycle behavior);
+* per-site :class:`~repro.core.maintenance.ModelMaintainer` instances
+  (:meth:`configure_maintenance` / :meth:`register_model_class`), whose
+  re-derived models :meth:`maintain` publishes into the registry as new
+  versions — old versions stay available for :meth:`rollback_model`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from .. import obs
+from ..core.builder import BuildOutcome, CostModelBuilder
+from ..core.classification import QueryClass
+from ..core.maintenance import ChangeDetector, ModelMaintainer
 from ..core.model import MultiStateCostModel
-from ..engine.query import JoinQuery
+from ..engine.query import JoinQuery, Query
 from .agent import MDBSAgent
 from .catalog import GlobalCatalog
 from .gquery import GlobalJoinQuery
 from .network import NetworkModel
 from .optimizer import GlobalPlan, GlobalQueryOptimizer
+from .probing_service import ProbingService
+from .registry import ModelProvenance, ModelVersion, config_fingerprint
 
 _TEMP_LEFT = "_g_left"
 _TEMP_RIGHT = "_g_right"
@@ -58,10 +74,18 @@ class GlobalExecution:
 class MDBSServer:
     """The global level of the multidatabase system."""
 
-    def __init__(self, network: NetworkModel | None = None) -> None:
+    def __init__(
+        self,
+        network: NetworkModel | None = None,
+        probe_ttl: float = 0.0,
+    ) -> None:
         self.catalog = GlobalCatalog()
         self.agents: dict[str, MDBSAgent] = {}
         self.network = network or NetworkModel()
+        #: Shared by every optimizer this server hands out; ttl=0 keeps
+        #: the pre-lifecycle always-fresh-probe behavior.
+        self.probing = ProbingService(self.agents, ttl=probe_ttl)
+        self.maintainers: dict[str, ModelMaintainer] = {}
 
     # -- registration ----------------------------------------------------
 
@@ -80,6 +104,87 @@ class MDBSServer:
     def store_cost_model(self, site: str, model: MultiStateCostModel) -> None:
         self.catalog.store_cost_model(site, model)
 
+    # -- model lifecycle --------------------------------------------------
+
+    def configure_maintenance(
+        self,
+        site: str,
+        builder: CostModelBuilder | None = None,
+        detector: ChangeDetector | None = None,
+        rebuild_period_seconds: float | None = None,
+    ) -> ModelMaintainer:
+        """Attach a §2 maintenance policy to *site*.
+
+        Every model the maintainer derives — the initial builds of
+        registered classes and all later rebuilds — is published into
+        the catalog's registry as a new active version, with provenance
+        taken from the builder and the site's simulated clock.
+        """
+        agent = self.agents[site]
+        builder = builder or CostModelBuilder(agent.database, probe=agent.probe)
+        maintainer = ModelMaintainer(
+            builder,
+            detector,
+            rebuild_period_seconds,
+            on_rebuild=lambda label, outcome: self._publish_outcome(site, outcome),
+        )
+        self.maintainers[site] = maintainer
+        return maintainer
+
+    def register_model_class(
+        self,
+        site: str,
+        query_class: QueryClass,
+        query_source: Callable[[int], Sequence[Query]],
+        sample_count: int | None = None,
+        algorithm: str = "iupma",
+    ) -> ModelVersion:
+        """Derive + publish the model for *query_class* and keep it maintained."""
+        maintainer = self.maintainers.get(site) or self.configure_maintenance(site)
+        maintainer.register(
+            query_class, query_source, sample_count=sample_count, algorithm=algorithm
+        )
+        return self.catalog.registry.active_version(site, query_class.label)
+
+    def maintain(self) -> dict[str, dict[str, BuildOutcome]]:
+        """Run §2 maintenance at every configured site.
+
+        Each site's :class:`~repro.core.maintenance.ChangeDetector` is
+        consulted and every due class re-derived; fresh models are
+        published as new registry versions (the superseded versions stay
+        available for rollback), schema facts are re-imported, and the
+        site's cached probing reading is invalidated so the next
+        optimization sees the post-maintenance environment.
+        """
+        results: dict[str, dict[str, BuildOutcome]] = {}
+        with obs.span("mdbs.maintain") as sp:
+            for site in sorted(self.maintainers):
+                rebuilt = self.maintainers[site].maintain()
+                results[site] = rebuilt
+                if rebuilt:
+                    self.refresh_site_facts(site)
+                    self.probing.invalidate(site)
+            if sp.recording:
+                sp.set_attribute(
+                    "rebuilt",
+                    {site: sorted(rebuilt) for site, rebuilt in results.items()},
+                )
+        obs.inc("mdbs.maintenance_runs")
+        return results
+
+    def rollback_model(self, site: str, class_label: str) -> ModelVersion:
+        """Serve the previously active model version again."""
+        return self.catalog.rollback_cost_model(site, class_label)
+
+    def _publish_outcome(self, site: str, outcome: BuildOutcome) -> ModelVersion:
+        maintainer = self.maintainers[site]
+        provenance = ModelProvenance.from_model(
+            outcome.model,
+            derived_at=self.agents[site].database.environment.now,
+            config_hash=config_fingerprint(maintainer.builder.config),
+        )
+        return self.catalog.publish_cost_model(site, outcome.model, provenance)
+
     # -- optimization -----------------------------------------------------------
 
     def optimizer(self, prefer_estimated_probing: bool = False) -> GlobalQueryOptimizer:
@@ -88,6 +193,7 @@ class MDBSServer:
             self.agents,
             self.network,
             prefer_estimated_probing=prefer_estimated_probing,
+            probing=self.probing,
         )
 
     def optimize(self, query: GlobalJoinQuery) -> GlobalPlan:

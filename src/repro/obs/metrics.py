@@ -234,6 +234,14 @@ class MetricsRegistry:
             metric = self._metrics.get(name)
         return metric.value if isinstance(metric, Counter) else default
 
+    def gauge_value(self, name: str, default: float | None = None) -> float | None:
+        """A gauge's last-written value without creating it as a side effect."""
+        with self._lock:
+            metric = self._metrics.get(name)
+        if isinstance(metric, Gauge) and metric.value is not None:
+            return metric.value
+        return default
+
     def counters(self) -> dict[str, float]:
         """Every counter's current total, by name."""
         with self._lock:

@@ -13,13 +13,6 @@ from .scenarios import (
     make_site,
     paper_sites,
 )
-from .trace import (
-    ReplayRecord,
-    ReplayReport,
-    TraceEntry,
-    WorkloadTrace,
-    replay_trace,
-)
 from .tablegen import (
     COLUMN_NAMES,
     COLUMN_RANGES,
@@ -31,6 +24,13 @@ from .tablegen import (
     paper_workload,
     populate_database,
     small_workload,
+)
+from .trace import (
+    ReplayRecord,
+    ReplayReport,
+    TraceEntry,
+    WorkloadTrace,
+    replay_trace,
 )
 
 __all__ = [

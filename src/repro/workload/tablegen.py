@@ -17,7 +17,6 @@ benchmarks stay fast; experiments record the scale they used.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import G1, CostModelBuilder
+from repro.core import CostModelBuilder, G1
 from repro.engine import Column, DataType, LocalDatabase, Table, TableSchema
 from repro.env import dynamic_uniform_environment
 from repro.workload import make_site, small_workload

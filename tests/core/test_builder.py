@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.builder import BuilderConfig, CostModelBuilder
-from repro.core.classification import G1, G2
+from repro.core.classification import G1
 from repro.core.sampling import recommended_sample_size
 
 

@@ -1,6 +1,5 @@
 """Unit tests for fitting qualitative models over state partitions."""
 
-import numpy as np
 import pytest
 
 from repro.core.fitting import fit_qualitative, min_state_count

@@ -1,7 +1,6 @@
 """Unit tests for ICMA (clustering-based state determination)."""
 
 import numpy as np
-import pytest
 
 from repro.core.icma import clustered_partitioner, determine_states_icma
 from repro.core.iupma import StatesConfig, determine_states_iupma

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.fitting import fit_qualitative
 from repro.core.model import MultiStateCostModel
@@ -85,10 +87,6 @@ class TestSerialization:
     def test_coefficients_are_numpy_after_load(self, model):
         clone = MultiStateCostModel.from_dict(model.to_dict())
         assert isinstance(clone.coefficients, np.ndarray)
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 
 @settings(max_examples=40, deadline=None)

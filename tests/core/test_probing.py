@@ -9,8 +9,8 @@ from repro.core.probing import (
 )
 from repro.engine.database import LocalDatabase
 from repro.engine.query import SelectQuery
-from repro.env.environment import Environment
 from repro.env.contention import ConstantContention
+from repro.env.environment import Environment
 from repro.env.loadbuilder import LoadBuilder
 from repro.env.monitor import EnvironmentMonitor
 

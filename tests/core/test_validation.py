@@ -4,6 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.fitting import fit_qualitative
+from repro.core.model import MultiStateCostModel
+from repro.core.partition import uniform_partition
 from repro.core.validation import (
     ACCEPTABLE_FACTOR,
     GOOD_FACTOR,
@@ -14,9 +17,6 @@ from repro.core.validation import (
     relative_error,
     validate_model,
 )
-from repro.core.fitting import fit_qualitative
-from repro.core.model import MultiStateCostModel
-from repro.core.partition import uniform_partition
 from repro.core.variables import Observation
 
 from .synthetic import stepped_sample

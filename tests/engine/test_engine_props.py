@@ -4,7 +4,6 @@ always the same answer as the naive reference evaluation."""
 from collections import Counter
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

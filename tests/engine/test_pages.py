@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.pages import DEFAULT_PAGE_SIZE, ROW_OVERHEAD, PageLayout
+from repro.engine.pages import DEFAULT_PAGE_SIZE, PageLayout, ROW_OVERHEAD
 
 
 class TestRowsPerPage:

@@ -6,12 +6,12 @@ from hypothesis import strategies as st
 
 from repro.engine.errors import QueryError
 from repro.engine.predicate import (
-    TRUE,
     And,
     Comparison,
     KeyRange,
     Not,
     Or,
+    TRUE,
     TruePredicate,
     conjoin,
     conjuncts,

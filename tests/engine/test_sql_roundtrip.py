@@ -5,7 +5,6 @@ tests pin down that the rendered SQL parses back to a query that behaves
 identically (same predicate decisions on every row).
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,12 +4,12 @@ import pytest
 
 from repro.env.contention import level_to_processes
 from repro.env.processes import (
+    ProcessTable,
     RUNNING,
     SLEEPING,
     STOPPED,
-    ZOMBIE,
-    ProcessTable,
     SimProcess,
+    ZOMBIE,
 )
 from repro.env.stats import MachineSpec, StatisticsModel
 

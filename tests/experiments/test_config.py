@@ -1,7 +1,7 @@
 """Unit tests for experiment configuration presets."""
 
-from repro.core.sampling import recommended_sample_size
 from repro.core.classification import G1, G3
+from repro.core.sampling import recommended_sample_size
 from repro.experiments.config import ExperimentConfig, full, quick
 
 

@@ -21,8 +21,7 @@ from repro.experiments.serialize import (
     result_from_files,
     result_to_files,
 )
-from repro.experiments.table4 import render_table4
-from repro.experiments.table5 import run_table5, render_table5
+from repro.experiments.table5 import render_table5, run_table5
 
 
 @pytest.fixture(scope="module")

@@ -9,8 +9,8 @@ from repro.experiments import harness
 from repro.experiments.cache import DiskCache
 from repro.experiments.config import tiny
 from repro.experiments.runner import (
-    TASK_SECONDS_METRIC,
     ExperimentTask,
+    TASK_SECONDS_METRIC,
     enumerate_class_tasks,
     run_experiments,
     task_seed,

@@ -116,6 +116,30 @@ class TestPlanQuality:
             assert set(r.chosen) == {"multi-states", "one-state"}
 
 
+class TestProbeCacheQuality:
+    def test_cache_cuts_probes_without_losing_every_plan(self):
+        from repro.experiments.plan_quality import (
+            render_probe_cache_quality,
+            run_probe_cache_quality,
+        )
+
+        result = run_probe_cache_quality(
+            TINY, rounds=8, gap_seconds=900.0, ttl=1800.0
+        )
+        assert len(result.rounds) == 8
+        for r in result.rounds:
+            assert set(r.chosen) == {"fresh-probe", "cached-probe"}
+        fresh = result.probes_by_approach["fresh-probe"]
+        cached = result.probes_by_approach["cached-probe"]
+        # Fresh probes every optimization; the cache serves some rounds
+        # from a reading taken within the TTL.
+        assert fresh == 2 * len(result.rounds)
+        assert 0 < cached < fresh
+        rendered = render_probe_cache_quality(result)
+        assert "probes executed" in rendered
+        assert "cached-probe" in rendered
+
+
 class TestSampleSizeAblation:
     def test_points_for_each_requested_size(self):
         from repro.experiments.sample_size_ablation import run_sample_size_ablation

@@ -12,8 +12,8 @@ from repro.core import (
     split_train_test,
     validate_model,
 )
-from repro.mdbs import GlobalJoinQuery, MDBSAgent, MDBSServer
 from repro.engine import Comparison
+from repro.mdbs import GlobalJoinQuery, MDBSAgent, MDBSServer
 from repro.workload import make_site
 
 

@@ -130,4 +130,57 @@ class TestFilePersistence:
         path = tmp_path / "models.json"
         catalog.save_models(path)
         payload = json.loads(path.read_text())
-        assert "s2/G3" in payload
+        assert payload["schema_version"] == 2
+        assert "s2/G3" in payload["models"]
+
+    def test_legacy_flat_payload_still_loads(self, catalog, tmp_path):
+        import json
+
+        model = make_model("G1")
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"s1/G1": model.to_dict()}))
+        fresh = GlobalCatalog()
+        assert fresh.load_models(path) == 1
+        assert fresh.cost_model("s1", "G1").class_label == "G1"
+
+    def test_unknown_schema_version_rejected(self, catalog, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema_version": 99, "models": {}}))
+        fresh = GlobalCatalog()
+        with pytest.raises(GlobalCatalogError, match="schema_version"):
+            fresh.load_models(path)
+
+    def test_versions_round_trip_with_provenance(self, catalog, tmp_path):
+        from repro.mdbs.registry import ModelProvenance
+
+        v1 = catalog.publish_cost_model(
+            "s1",
+            make_model("G1"),
+            ModelProvenance(
+                derived_at=120.0,
+                algorithm="iupma",
+                sample_size=100,
+                r_squared=0.99,
+                standard_error=0.01,
+                config_hash="abc123",
+            ),
+        )
+        v2 = catalog.publish_cost_model("s1", make_model("G1"))
+        assert (v1.version, v2.version) == (1, 2)
+        path = tmp_path / "versions.json"
+        catalog.save_models(path)
+
+        fresh = GlobalCatalog()
+        assert fresh.load_models(path) == 1
+        history = fresh.cost_model_history("s1", "G1")
+        assert [v.version for v in history] == [1, 2]
+        assert history[0].provenance.derived_at == 120.0
+        assert history[0].provenance.config_hash == "abc123"
+        assert history[0].provenance.sample_size == 100
+        # The active pointer round-trips: v2 is served.
+        assert fresh.registry.active_version("s1", "G1").version == 2
+        # Rollback after a reload still finds the earlier version.
+        fresh.rollback_cost_model("s1", "G1")
+        assert fresh.registry.active_version("s1", "G1").version == 1

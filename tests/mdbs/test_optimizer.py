@@ -2,11 +2,14 @@
 
 import pytest
 
-from repro.core.classification import classify
+from repro import obs
+from repro.core.classification import class_by_label, classify
 from repro.engine.predicate import Comparison
 from repro.engine.query import SelectQuery
+from repro.mdbs.catalog import GlobalCatalog, GlobalCatalogError
 from repro.mdbs.gquery import GlobalJoinQuery
 from repro.mdbs.optimizer import (
+    GlobalQueryOptimizer,
     estimate_join_variables,
     estimate_unary_variables,
     facts_to_statistics,
@@ -106,6 +109,39 @@ class TestPlans:
         labels = {e.class_label for e in plan.estimates if e.class_label}
         assert labels <= {"G1", "G2", "G3", "GC"}
         assert any(e.class_label == "G3" for e in plan.estimates)  # the join
+
+
+class TestClassFallback:
+    def test_missing_class_model_degrades_to_same_family(self, mini_mdbs):
+        """mini_mdbs has only G1/G3 models; a G2 query must not abort the
+        estimation — the optimizer stands in a same-family (unary) model."""
+        server, sites = mini_mdbs
+        site = sites["oracle_site"]
+        table = site.database.catalog.table("R2")
+        cut = int(table.statistics.column("a1").maximum * 0.05)
+        query = SelectQuery("R2", ("a1",), Comparison("a1", "<", cut))
+        assert classify(site.database, query).label == "G2"
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            estimate, _ = server.optimizer().estimate_select("oracle_site", query)
+        finally:
+            obs.set_registry(previous)
+        assert estimate.class_label == "G2"  # reported as classified
+        assert estimate.seconds >= 0.0
+        assert registry.counter_value("mdbs.optimizer.class_fallback") == 1.0
+
+    def test_no_same_family_candidate_reraises(self, mini_mdbs):
+        server, _ = mini_mdbs
+        catalog = GlobalCatalog()
+        catalog.register_site("oracle_site")
+        catalog.store_cost_model(
+            "oracle_site", server.catalog.cost_model("oracle_site", "G1")
+        )
+        optimizer = GlobalQueryOptimizer(catalog, server.agents, server.network)
+        # Only a unary model exists; a join-family class has no stand-in.
+        with pytest.raises(GlobalCatalogError):
+            optimizer._model_for("oracle_site", class_by_label("G3"))
 
 
 class TestEstimatedProbingPath:

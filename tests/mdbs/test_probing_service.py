@@ -1,0 +1,321 @@
+"""Unit tests for the probing service: cache, coalescing, degradation.
+
+Includes the two lifecycle acceptance properties:
+
+* one ``optimizer.choose()`` on a two-site join executes at most one
+  probing query per site (proved via obs counters);
+* with the cache disabled (``ttl=0``) plan choices are byte-identical
+  to the pre-lifecycle behavior (probe each site once through the
+  agents, in left-then-right order, and share the readings across the
+  candidate plans).
+"""
+
+import pytest
+
+from repro import obs
+from repro.engine.predicate import Comparison
+from repro.mdbs.gquery import GlobalJoinQuery, decompose
+from repro.mdbs.optimizer import (
+    CostEstimate,
+    GlobalPlan,
+    GlobalQueryOptimizer,
+    estimate_join_variables,
+)
+from repro.mdbs.probing_service import ProbeReading, ProbingService
+
+
+@pytest.fixture
+def globalq():
+    return GlobalJoinQuery(
+        "oracle_site",
+        "R2",
+        "db2_site",
+        "R3",
+        "a4",
+        "a4",
+        ("R2.a1", "R3.a2"),
+        left_predicate=Comparison("a3", "<", 500),
+        right_predicate=Comparison("a7", ">", 25000),
+    )
+
+
+def snapshot_sites(sites):
+    return {name: site.database.save_state() for name, site in sites.items()}
+
+
+def restore_sites(sites, snapshot):
+    for name, site in sites.items():
+        site.database.restore_state(snapshot[name])
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_mdbs(mini_mdbs):
+    """mini_mdbs is session-scoped; these tests advance clocks and
+    calibrate estimators, so rewind everything after each test."""
+    server, sites = mini_mdbs
+    snapshot = snapshot_sites(sites)
+    estimators = {name: server.agents[name].estimator for name in sites}
+    yield
+    restore_sites(sites, snapshot)
+    for name, estimator in estimators.items():
+        server.agents[name].estimator = estimator
+    server.probing.invalidate()
+
+
+def seed_reference_choose(server, query):
+    """The pre-lifecycle optimizer, re-implemented independently.
+
+    Probes each site once *directly through the agents* (left then
+    right), shares the readings across both candidate plans, and picks
+    the cheaper one — exactly what the seed ``plans()``/``choose()``
+    did before the probing service existed.
+    """
+    optimizer = GlobalQueryOptimizer(server.catalog, server.agents, server.network)
+    left_facts = server.catalog.table(query.left_site, query.left_table)
+    right_facts = server.catalog.table(query.right_site, query.right_table)
+    components = decompose(
+        query, tuple(left_facts.column_widths), tuple(right_facts.column_widths)
+    )
+    left_probe = server.agents[query.left_site].probing_cost()
+    right_probe = server.agents[query.right_site].probing_cost()
+    left_est, left_vars = optimizer.estimate_select(
+        query.left_site, components.left, left_probe
+    )
+    right_est, right_vars = optimizer.estimate_select(
+        query.right_site, components.right, right_probe
+    )
+    l1 = float(sum(left_facts.column_widths[c] for c in components.left.columns))
+    l2 = float(sum(right_facts.column_widths[c] for c in components.right.columns))
+    ndv1 = left_facts.column_stats.get(query.left_join_column, (None, None, 1))[2]
+    ndv2 = right_facts.column_stats.get(query.right_join_column, (None, None, 1))[2]
+    join_values = estimate_join_variables(
+        left_vars["nr"], right_vars["nr"], l1, l2, ndv1, ndv2
+    )
+    plans = []
+    for join_site_key, shipped_rows, shipped_width, probe in (
+        ("right", left_vars["nr"], l1, right_probe),
+        ("left", right_vars["nr"], l2, left_probe),
+    ):
+        site = query.right_site if join_site_key == "right" else query.left_site
+        ship = CostEstimate(
+            f"ship {int(shipped_rows)} tuples to {site}",
+            server.network.transfer_seconds(shipped_rows * shipped_width),
+        )
+        join_est = optimizer.estimate_join(site, join_values, probe)
+        plans.append(
+            GlobalPlan(
+                query=query,
+                components=components,
+                join_site=join_site_key,
+                estimates=[left_est, right_est, ship, join_est],
+            )
+        )
+    return min(plans, key=lambda p: p.estimated_seconds)
+
+
+class TestCoalescing:
+    def test_choose_probes_each_site_at_most_once(self, mini_mdbs, globalq):
+        """Acceptance: obs counters prove ≤1 probing query per site per
+        choose(), for the server's shared service and a fresh one."""
+        server, _ = mini_mdbs
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            server.optimizer().choose(globalq)
+        finally:
+            obs.set_registry(previous)
+        for site in ("oracle_site", "db2_site"):
+            assert registry.counter_value(f"mdbs.probing.executed.{site}") <= 1.0
+        # Exactly one observed probe per involved site, none anywhere else.
+        assert registry.counter_value("mdbs.probes.observed") == 2.0
+        assert registry.counter_value("mdbs.probing.source.observed") == 2.0
+
+    def test_same_site_join_probes_once(self, mini_mdbs):
+        server, _ = mini_mdbs
+        query = GlobalJoinQuery(
+            "oracle_site",
+            "R1",
+            "oracle_site",
+            "R2",
+            "a4",
+            "a4",
+            ("R1.a1", "R2.a2"),
+            left_predicate=Comparison("a3", "<", 500),
+        )
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            server.optimizer().choose(query)
+        finally:
+            obs.set_registry(previous)
+        assert registry.counter_value("mdbs.probing.executed.oracle_site") == 1.0
+
+
+class TestTTLZeroMatchesSeed:
+    def test_plan_choice_byte_identical_to_seed(self, mini_mdbs, globalq):
+        """Acceptance: with ttl=0 the lifecycle path reproduces the seed
+        optimizer's choice — and its full estimate breakdown — byte for
+        byte from an identical site state."""
+        server, sites = mini_mdbs
+        snapshot = snapshot_sites(sites)
+
+        optimizer = GlobalQueryOptimizer(
+            server.catalog,
+            server.agents,
+            server.network,
+            probing=ProbingService(server.agents, ttl=0.0),
+        )
+        lifecycle_plan = optimizer.choose(globalq)
+
+        restore_sites(sites, snapshot)
+        reference_plan = seed_reference_choose(server, globalq)
+
+        assert lifecycle_plan.describe() == reference_plan.describe()
+        assert lifecycle_plan.join_site == reference_plan.join_site
+        assert [
+            (e.description, e.seconds, e.class_label, e.state)
+            for e in lifecycle_plan.estimates
+        ] == [
+            (e.description, e.seconds, e.class_label, e.state)
+            for e in reference_plan.estimates
+        ]
+
+    def test_ttl_zero_never_serves_from_cache(self, mini_mdbs):
+        server, _ = mini_mdbs
+        service = ProbingService(server.agents, ttl=0.0)
+        service.probing_cost("oracle_site")
+        service.probing_cost("oracle_site")
+        assert service.cache_hits == 0
+        assert service.probes_executed["oracle_site"] == 2
+
+
+class TestTTLCache:
+    def test_second_read_within_ttl_is_cached(self, mini_mdbs):
+        server, sites = mini_mdbs
+        service = ProbingService(server.agents, ttl=600.0)
+        first = service.probe("oracle_site")
+        again = service.probe("oracle_site")
+        assert again == first
+        assert service.cache_hits == 1
+        assert service.probes_executed["oracle_site"] == 1
+
+    def test_expired_entry_probes_again(self, mini_mdbs):
+        server, sites = mini_mdbs
+        service = ProbingService(server.agents, ttl=60.0)
+        service.probe("oracle_site")
+        sites["oracle_site"].environment.advance(120.0)
+        service.probe("oracle_site")
+        assert service.probes_executed["oracle_site"] == 2
+
+    def test_rewound_clock_invalidates_entry(self, mini_mdbs):
+        # Fork-and-rewind experiments move the clock backwards; a cache
+        # entry stamped in the "future" must not be served.
+        server, sites = mini_mdbs
+        database = sites["oracle_site"].database
+        service = ProbingService(server.agents, ttl=600.0)
+        state = database.save_state()
+        database.environment.advance(50.0)
+        service.probe("oracle_site")
+        database.restore_state(state)
+        service.probe("oracle_site")
+        assert service.probes_executed["oracle_site"] == 2
+
+    def test_invalidate_forces_fresh_probe(self, mini_mdbs):
+        server, _ = mini_mdbs
+        service = ProbingService(server.agents, ttl=600.0)
+        service.probe("oracle_site")
+        service.invalidate("oracle_site")
+        service.probe("oracle_site")
+        assert service.probes_executed["oracle_site"] == 2
+
+    def test_negative_ttl_rejected(self, mini_mdbs):
+        server, _ = mini_mdbs
+        with pytest.raises(ValueError):
+            ProbingService(server.agents, ttl=-1.0)
+
+    def test_unknown_site_rejected(self, mini_mdbs):
+        server, _ = mini_mdbs
+        service = ProbingService(server.agents)
+        with pytest.raises(KeyError):
+            service.probe("nowhere")
+
+
+class TestFallbackChain:
+    def _broken(self, agent, monkeypatch):
+        def boom():
+            raise RuntimeError("probe table is gone")
+
+        monkeypatch.setattr(agent, "observed_probing_cost", boom)
+
+    def test_estimated_when_observed_fails(self, mini_mdbs, monkeypatch):
+        server, _ = mini_mdbs
+        agent = server.agents["oracle_site"]
+        agent.calibrate_estimator(samples=40, interval_seconds=45.0)
+        self._broken(agent, monkeypatch)
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            service = ProbingService(server.agents)
+            reading = service.probe("oracle_site")
+        finally:
+            obs.set_registry(previous)
+        assert reading.source == "estimated"
+        assert reading.cost is not None
+        assert registry.counter_value("mdbs.probing.source.estimated") == 1.0
+
+    def test_last_known_when_no_estimator(self, mini_mdbs, monkeypatch):
+        server, _ = mini_mdbs
+        agent = server.agents["db2_site"]
+        service = ProbingService(server.agents, ttl=0.0)
+        healthy = service.probe("db2_site")
+        self._broken(agent, monkeypatch)
+        monkeypatch.setattr(agent, "estimator", None)
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            reading = service.probe("db2_site")
+        finally:
+            obs.set_registry(previous)
+        assert reading.source == "last_known"
+        assert reading.cost == healthy.cost
+        assert registry.counter_value("mdbs.probing.source.last_known") == 1.0
+
+    def test_static_when_nothing_available(self, mini_mdbs, monkeypatch):
+        server, _ = mini_mdbs
+        agent = server.agents["db2_site"]
+        self._broken(agent, monkeypatch)
+        monkeypatch.setattr(agent, "estimator", None)
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            service = ProbingService(server.agents)
+            reading = service.probe("db2_site")
+        finally:
+            obs.set_registry(previous)
+        assert reading == ProbeReading(None, "static", reading.at_time)
+        assert registry.counter_value("mdbs.probing.source.static") == 1.0
+
+    def test_optimizer_degrades_to_static_prediction(
+        self, mini_mdbs, globalq, monkeypatch
+    ):
+        """Even with both probes dead the optimizer still returns a plan."""
+        server, _ = mini_mdbs
+        for site in ("oracle_site", "db2_site"):
+            self._broken(server.agents[site], monkeypatch)
+            monkeypatch.setattr(server.agents[site], "estimator", None)
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            optimizer = GlobalQueryOptimizer(
+                server.catalog,
+                server.agents,
+                server.network,
+                probing=ProbingService(server.agents),
+            )
+            plan = optimizer.choose(globalq)
+        finally:
+            obs.set_registry(previous)
+        assert plan.join_site in ("left", "right")
+        assert plan.estimated_seconds >= 0.0
+        assert registry.counter_value("mdbs.optimizer.static_predictions") > 0
+        assert registry.counter_value("mdbs.probing.source.static") > 0

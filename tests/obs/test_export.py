@@ -75,9 +75,13 @@ class TestSummaryTable:
         record_small_trace(tracer)
         table = summary_table(tracer)
         assert "span" in table and "count" in table and "p95_s" in table
-        inner_row = next(l for l in table.splitlines() if l.startswith("inner"))
+        inner_row = next(
+            line for line in table.splitlines() if line.startswith("inner")
+        )
         assert inner_row.split()[1] == "2"
-        outer_row = next(l for l in table.splitlines() if l.startswith("outer"))
+        outer_row = next(
+            line for line in table.splitlines() if line.startswith("outer")
+        )
         assert outer_row.split()[1] == "1"
 
     def test_sort_modes(self, tracer):

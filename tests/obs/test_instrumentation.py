@@ -9,7 +9,7 @@ import json
 import pytest
 
 from repro import obs
-from repro.core import G1, CostModelBuilder, derivation_report
+from repro.core import CostModelBuilder, G1, derivation_report
 from repro.core.maintenance import ModelMaintainer
 from repro.workload import make_site
 

@@ -1,5 +1,6 @@
 """Unit tests for synthetic table generation."""
 
+import numpy as np
 import pytest
 
 from repro.engine.index import IndexKind
@@ -13,8 +14,6 @@ from repro.workload.tablegen import (
     populate_database,
     small_workload,
 )
-
-import numpy as np
 
 
 class TestSpecs:

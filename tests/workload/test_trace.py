@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.core.builder import CostModelBuilder
 from repro.core.classification import G1, G2
 from repro.engine.query import SelectQuery
 from repro.workload.trace import (
-    ReplayRecord,
     TraceEntry,
     WorkloadTrace,
     replay_trace,
