@@ -256,6 +256,21 @@ class ModelMaintainer:
             self.detector.rebase()
         return rebuilt
 
+    def registered_labels(self) -> list[str]:
+        """The class labels currently under maintenance."""
+        return sorted(self._registrations)
+
+    def rebuild(self, label: str, reasons: tuple[str, ...]) -> BuildOutcome:
+        """Force an immediate re-derivation of one registered class.
+
+        The targeted entry point for out-of-band triggers (drift rules,
+        operator action) that bypass :meth:`due`'s catalog/period logic.
+        Raises ``KeyError`` for labels never :meth:`register`-ed.
+        """
+        if label not in self._registrations:
+            raise KeyError(f"class {label!r} is not registered for maintenance")
+        return self._rebuild(label, reasons)
+
     def _rebuild(self, label: str, reasons: tuple[str, ...]) -> BuildOutcome:
         registration = self._registrations[label]
         with obs.span(

@@ -37,8 +37,10 @@ import sys
 import time
 
 from .. import obs
+from . import drift_detection as drift_detection_mod
 from .cache import DiskCache, default_cache_dir
 from .config import full, quick, tiny
+from .drift_detection import render_drift_detection, run_drift_detection
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
 from .harness import cache_summary, set_disk_cache
@@ -161,6 +163,11 @@ def _bench_sample_size(config) -> None:
     print(render_sample_size_ablation(run_sample_size_ablation(config)))
 
 
+def _bench_drift_detection(config) -> None:
+    _banner("End-to-end: drift detection -> targeted re-derivation")
+    print(render_drift_detection(run_drift_detection(config)))
+
+
 #: Bench registry, in print order.  Names are the ``--only`` vocabulary.
 BENCHES: tuple[tuple[str, object], ...] = (
     ("figure1", _bench_figure1),
@@ -174,6 +181,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("plan_quality", _bench_plan_quality),
     ("probe_cache", _bench_probe_cache),
     ("sample_size_ablation", _bench_sample_size),
+    ("drift_detection", _bench_drift_detection),
 )
 
 
@@ -230,6 +238,21 @@ def main(argv: list[str] | None = None) -> int:
         help="enable tracing and write the JSONL trace here at exit",
     )
     parser.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a combined obs snapshot (metrics + accuracy windows "
+            "+ model versions) at exit, for `python -m repro.obs`"
+        ),
+    )
+    parser.add_argument(
+        "--drift-out",
+        metavar="PATH",
+        default=None,
+        help="write every raised DriftEvent as JSONL at exit",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -243,13 +266,19 @@ def main(argv: list[str] | None = None) -> int:
     make_config = _PRESETS[preset]
     config = make_config(args.seed) if args.seed is not None else make_config()
 
-    if args.trace_out:
+    for option, path in (
+        ("--trace-out", args.trace_out),
+        ("--snapshot-out", args.snapshot_out),
+        ("--drift-out", args.drift_out),
+    ):
+        if not path:
+            continue
         # Fail now, not after a multi-minute run, if the path is bad.
         try:
-            with open(args.trace_out, "w"):
+            with open(path, "w"):
                 pass
         except OSError as exc:
-            parser.error(f"--trace-out {args.trace_out}: {exc}")
+            parser.error(f"{option} {path}: {exc}")
 
     disk = None
     if not args.no_cache:
@@ -286,6 +315,15 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if disk is not None:
             set_disk_cache(None)
+        if args.snapshot_out:
+            obs.write_snapshot(
+                args.snapshot_out,
+                model_registry=drift_detection_mod.LAST_MODEL_REGISTRY,
+            )
+            _note(f"\nwrote obs snapshot to {args.snapshot_out}")
+        if args.drift_out:
+            count = obs.write_drift_jsonl(obs.get_tracker(), args.drift_out)
+            _note(f"wrote {count} drift events to {args.drift_out}")
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

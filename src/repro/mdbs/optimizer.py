@@ -141,6 +141,11 @@ class CostEstimate:
     seconds: float
     class_label: str | None = None
     state: int | None = None
+    #: Site whose cost model produced the estimate (None for estimates
+    #: with no model behind them, e.g. network shipping).  Lets the
+    #: accuracy tracker attribute each estimate-vs-actual pair to the
+    #: (site, class, state) window that produced the prediction.
+    site: str | None = None
 
 
 @dataclass
@@ -242,6 +247,7 @@ class GlobalQueryOptimizer:
                 seconds,
                 query_class.label,
                 state,
+                site,
             ),
             values,
         )
@@ -261,6 +267,7 @@ class GlobalQueryOptimizer:
             seconds,
             join_class_label,
             state,
+            site,
         )
 
     # -- plan enumeration --------------------------------------------------------

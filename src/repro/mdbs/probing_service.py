@@ -52,6 +52,7 @@ class ProbingService:
         agents: dict[str, MDBSAgent],
         ttl: float = 0.0,
         prefer_estimated: bool = False,
+        tracker=None,
     ) -> None:
         if ttl < 0:
             raise ValueError("ttl must be >= 0 (0 disables the cache)")
@@ -60,6 +61,10 @@ class ProbingService:
         self.agents = agents
         self.ttl = float(ttl)
         self.prefer_estimated = prefer_estimated
+        #: Optional :class:`~repro.obs.quality.AccuracyTracker` fed every
+        #: executed reading, so drift rules can watch the probing-cost
+        #: distribution against the models' partitioned state ranges.
+        self.tracker = tracker
         self._cache: dict[str, ProbeReading] = {}
         #: Probes actually executed (observed or estimated), per site —
         #: local bookkeeping for experiments; obs counters carry the
@@ -127,6 +132,8 @@ class ProbingService:
             )
             obs.inc(f"mdbs.probing.executed.{agent.site}")
             obs.inc(f"mdbs.probing.source.{mode}")
+            if self.tracker is not None:
+                self.tracker.record_probe(agent.site, cost, at_time=now)
             return ProbeReading(cost, mode, now)
         last = self._cache.get(agent.site)
         if last is not None and last.cost is not None:

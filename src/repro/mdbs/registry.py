@@ -64,6 +64,11 @@ class ModelProvenance:
     #: Fingerprint of the builder config that produced the model
     #: (:func:`config_fingerprint`); None when not derived in-process.
     config_hash: str | None = None
+    #: What prompted the derivation — None for ordinary §2 maintenance
+    #: and manual publishes, or a :meth:`DriftEvent.describe` string when
+    #: a drift rule forced the re-derivation, so the registry records
+    #: *why* each version exists.
+    trigger: str | None = None
 
     @classmethod
     def from_model(
@@ -71,6 +76,7 @@ class ModelProvenance:
         model: MultiStateCostModel,
         derived_at: float | None = None,
         config_hash: str | None = None,
+        trigger: str | None = None,
     ) -> "ModelProvenance":
         """Provenance recoverable from the model artifact itself."""
         stats = model.validation_stats()
@@ -81,6 +87,7 @@ class ModelProvenance:
             r_squared=float(stats["r_squared"]),
             standard_error=float(stats["standard_error"]),
             config_hash=config_hash,
+            trigger=trigger,
         )
 
     def to_dict(self) -> dict:
@@ -91,6 +98,7 @@ class ModelProvenance:
             "r_squared": self.r_squared,
             "standard_error": self.standard_error,
             "config_hash": self.config_hash,
+            "trigger": self.trigger,
         }
 
     @classmethod
@@ -102,6 +110,7 @@ class ModelProvenance:
             r_squared=float(payload.get("r_squared", float("nan"))),
             standard_error=float(payload.get("standard_error", float("nan"))),
             config_hash=payload.get("config_hash"),
+            trigger=payload.get("trigger"),
         )
 
 

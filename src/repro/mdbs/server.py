@@ -16,6 +16,16 @@ The server also owns the two serving-side lifecycle components:
   (:meth:`configure_maintenance` / :meth:`register_model_class`), whose
   re-derived models :meth:`maintain` publishes into the registry as new
   versions — old versions stay available for :meth:`rollback_model`.
+
+Every execution additionally feeds the model-quality telemetry: each
+plan component's (estimate, observed) pair lands in the server's
+:class:`~repro.obs.quality.AccuracyTracker` keyed by (site, class,
+contention state), and :meth:`configure_maintenance` accepts a
+``drift=`` policy whose :class:`~repro.obs.quality.DriftDetector` can
+force a targeted re-derivation when accuracy degrades or probing costs
+escape a model's partitioned state range — the triggering
+:class:`~repro.obs.quality.DriftEvent` is recorded in the new version's
+provenance.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from ..core.classification import QueryClass
 from ..core.maintenance import ChangeDetector, ModelMaintainer
 from ..core.model import MultiStateCostModel
 from ..engine.query import JoinQuery, Query
+from ..obs.quality import AccuracyTracker, DriftDetector, DriftEvent, DriftPolicy
 from .agent import MDBSAgent
 from .catalog import GlobalCatalog
 from .gquery import GlobalJoinQuery
@@ -78,14 +89,30 @@ class MDBSServer:
         self,
         network: NetworkModel | None = None,
         probe_ttl: float = 0.0,
+        accuracy: AccuracyTracker | None = None,
     ) -> None:
         self.catalog = GlobalCatalog()
         self.agents: dict[str, MDBSAgent] = {}
         self.network = network or NetworkModel()
+        #: Estimate-vs-actual accuracy windows, fed by every execution
+        #: (and every executed probe, via the probing service).  Defaults
+        #: to the process-global tracker so obs snapshots include it.
+        self.accuracy = accuracy if accuracy is not None else obs.get_tracker()
         #: Shared by every optimizer this server hands out; ttl=0 keeps
         #: the pre-lifecycle always-fresh-probe behavior.
-        self.probing = ProbingService(self.agents, ttl=probe_ttl)
+        self.probing = ProbingService(
+            self.agents, ttl=probe_ttl, tracker=self.accuracy
+        )
         self.maintainers: dict[str, ModelMaintainer] = {}
+        #: Drift policy per site (:meth:`configure_maintenance`'s
+        #: ``drift=``); consulted by :meth:`maintain` after the §2 pass.
+        self.drift_detectors: dict[str, DriftDetector] = {}
+        #: Every drift event ever raised, oldest first.
+        self.drift_events: list[DriftEvent] = []
+        #: Triggers awaiting consumption by :meth:`_publish_outcome`,
+        #: keyed (site, class_label) — how a drift-forced rebuild gets
+        #: its event recorded in the published version's provenance.
+        self._pending_trigger: dict[tuple[str, str], str] = {}
 
     # -- registration ----------------------------------------------------
 
@@ -112,6 +139,7 @@ class MDBSServer:
         builder: CostModelBuilder | None = None,
         detector: ChangeDetector | None = None,
         rebuild_period_seconds: float | None = None,
+        drift: DriftPolicy | DriftDetector | None = None,
     ) -> ModelMaintainer:
         """Attach a §2 maintenance policy to *site*.
 
@@ -119,6 +147,14 @@ class MDBSServer:
         registered classes and all later rebuilds — is published into
         the catalog's registry as a new active version, with provenance
         taken from the builder and the site's simulated clock.
+
+        *drift* additionally arms model-quality drift detection for the
+        site: each :meth:`maintain` run evaluates the policy's rules
+        against the accuracy tracker, and any event raised forces a
+        targeted re-derivation of the offending class, published with
+        the event in its provenance.  Pass a
+        :class:`~repro.obs.quality.DriftPolicy` (thresholds only) or a
+        pre-built :class:`~repro.obs.quality.DriftDetector`.
         """
         agent = self.agents[site]
         builder = builder or CostModelBuilder(agent.database, probe=agent.probe)
@@ -129,6 +165,10 @@ class MDBSServer:
             on_rebuild=lambda label, outcome: self._publish_outcome(site, outcome),
         )
         self.maintainers[site] = maintainer
+        if drift is not None:
+            self.drift_detectors[site] = (
+                drift if isinstance(drift, DriftDetector) else DriftDetector(drift)
+            )
         return maintainer
 
     def register_model_class(
@@ -155,6 +195,13 @@ class MDBSServer:
         available for rollback), schema facts are re-imported, and the
         site's cached probing reading is invalidated so the next
         optimization sees the post-maintenance environment.
+
+        Sites armed with a ``drift=`` policy get a second pass: the
+        :class:`~repro.obs.quality.DriftDetector` is evaluated against
+        the accuracy tracker and every event raised forces a targeted
+        re-derivation of the offending class (published with the event
+        in its provenance), after which that class's accuracy windows
+        reset so recovery is measured fresh.
         """
         results: dict[str, dict[str, BuildOutcome]] = {}
         with obs.span("mdbs.maintain") as sp:
@@ -164,12 +211,57 @@ class MDBSServer:
                 if rebuilt:
                     self.refresh_site_facts(site)
                     self.probing.invalidate(site)
+            for site, rebuilt in self._maintain_drift().items():
+                results.setdefault(site, {}).update(rebuilt)
             if sp.recording:
                 sp.set_attribute(
                     "rebuilt",
                     {site: sorted(rebuilt) for site, rebuilt in results.items()},
                 )
         obs.inc("mdbs.maintenance_runs")
+        return results
+
+    def _maintain_drift(self) -> dict[str, dict[str, BuildOutcome]]:
+        """Evaluate armed drift policies; rebuild every flagged class."""
+        results: dict[str, dict[str, BuildOutcome]] = {}
+        registry = self.catalog.registry
+        for site in sorted(self.drift_detectors):
+            detector = self.drift_detectors[site]
+            states_by_class = {
+                label: registry.active_model(s, label).states
+                for (s, label) in registry.keys()
+                if s == site and registry.has_model(s, label)
+            }
+            now = self.agents[site].database.environment.now
+            events = detector.check(self.accuracy, site, states_by_class, now=now)
+            if not events:
+                continue
+            maintainer = self.maintainers.get(site)
+            rebuilt: dict[str, BuildOutcome] = {}
+            for event in events:
+                self.drift_events.append(event)
+                self.accuracy.record_drift_event(event)
+                obs.inc("mdbs.drift.events")
+                obs.inc(f"mdbs.drift.rule.{event.rule}")
+                label = event.class_label
+                if (
+                    maintainer is None
+                    or label not in maintainer.registered_labels()
+                ):
+                    # Detected but not repairable here (class derived
+                    # out-of-band); the event still lands in telemetry.
+                    obs.inc("mdbs.drift.events_unhandled")
+                    continue
+                self._pending_trigger[(site, label)] = event.describe()
+                rebuilt[label] = maintainer.rebuild(
+                    label, reasons=(event.describe(),)
+                )
+                # Post-rebuild accuracy measures the *new* model only.
+                self.accuracy.reset(site, label)
+            if rebuilt:
+                results[site] = rebuilt
+                self.refresh_site_facts(site)
+                self.probing.invalidate(site)
         return results
 
     def rollback_model(self, site: str, class_label: str) -> ModelVersion:
@@ -182,6 +274,9 @@ class MDBSServer:
             outcome.model,
             derived_at=self.agents[site].database.environment.now,
             config_hash=config_fingerprint(maintainer.builder.config),
+            trigger=self._pending_trigger.pop(
+                (site, outcome.model.class_label), None
+            ),
         )
         return self.catalog.publish_cost_model(site, outcome.model, provenance)
 
@@ -220,6 +315,7 @@ class MDBSServer:
         ) as root:
             plan = plan or self.optimize(query)
             execution = self._execute_plan(query, plan)
+            self._record_accuracy(plan, execution)
             obs.inc("mdbs.global_queries")
             obs.set_gauge("mdbs.last_estimated_seconds", execution.estimated_seconds)
             obs.set_gauge("mdbs.last_observed_seconds", execution.observed_seconds)
@@ -231,6 +327,38 @@ class MDBSServer:
                     cardinality=execution.cardinality,
                 )
         return execution
+
+    def _record_accuracy(self, plan: GlobalPlan, execution: GlobalExecution) -> None:
+        """Feed each model-backed estimate/observation pair to the tracker.
+
+        ``plan.estimates`` and ``execution.steps`` are built in the same
+        component order (left select, right select, ship, join); the
+        ship component carries no cost model (``class_label is None``)
+        and is skipped.  Plan-level error goes to a registry histogram —
+        it aggregates several models, so it has no (site, class, state)
+        window of its own.
+        """
+        if len(plan.estimates) != len(execution.steps):
+            return
+        for estimate, step in zip(plan.estimates, execution.steps):
+            if estimate.class_label is None or estimate.site is None:
+                continue
+            if estimate.state is None:
+                continue
+            self.accuracy.record(
+                estimate.site,
+                estimate.class_label,
+                estimate.state,
+                predicted=estimate.seconds,
+                actual=step.seconds,
+                at_time=self.agents[estimate.site].database.environment.now,
+            )
+        observed = execution.observed_seconds
+        if observed > 0.0:
+            obs.observe(
+                "mdbs.plan.rel_error",
+                abs(execution.estimated_seconds - observed) / observed,
+            )
 
     def _execute_plan(
         self, query: GlobalJoinQuery, plan: GlobalPlan

@@ -13,7 +13,13 @@ and the work actually go?*  Three pieces:
   builder, and MDBS layers costs ~nothing until :func:`enable` (or the
   scoped :func:`recording`) installs a real one;
 * :mod:`repro.obs.export` — JSONL trace dumps and per-span-name /
-  per-metric summary tables.
+  per-metric summary tables;
+* :mod:`repro.obs.quality` — model-quality telemetry: rolling
+  estimate-vs-actual accuracy windows (the paper's §5 bands, online)
+  and rule-based drift detection over them;
+* :mod:`repro.obs.expose` — Prometheus-style text exposition, combined
+  obs snapshots, the one-screen dashboard behind ``python -m repro.obs``,
+  and DriftEvent JSONL export.
 
 Typical use::
 
@@ -41,6 +47,15 @@ from .export import (
     tree_lines,
     write_jsonl,
 )
+from .expose import (
+    drift_events_to_jsonl,
+    read_snapshot,
+    render_dashboard,
+    render_text,
+    snapshot_payload,
+    write_drift_jsonl,
+    write_snapshot,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -48,6 +63,18 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
     set_registry,
+)
+from .quality import (
+    AccuracySample,
+    AccuracyTracker,
+    AccuracyWindow,
+    DriftDetector,
+    DriftEvent,
+    DriftPolicy,
+    WindowStats,
+    accuracy_table,
+    get_tracker,
+    set_tracker,
 )
 from .tracing import (
     NOOP_SPAN,
@@ -88,6 +115,17 @@ __all__ = [
     "inc",
     "observe",
     "set_gauge",
+    # quality
+    "AccuracySample",
+    "AccuracyTracker",
+    "AccuracyWindow",
+    "DriftDetector",
+    "DriftEvent",
+    "DriftPolicy",
+    "WindowStats",
+    "accuracy_table",
+    "get_tracker",
+    "set_tracker",
     # export
     "span_to_dict",
     "to_jsonl",
@@ -95,6 +133,14 @@ __all__ = [
     "summary_table",
     "metrics_table",
     "tree_lines",
+    # expose
+    "drift_events_to_jsonl",
+    "read_snapshot",
+    "render_dashboard",
+    "render_text",
+    "snapshot_payload",
+    "write_drift_jsonl",
+    "write_snapshot",
 ]
 
 

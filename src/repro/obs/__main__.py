@@ -1,0 +1,86 @@
+"""repro.obs CLI: render obs snapshots as a dashboard or exposition.
+
+Usage::
+
+    python -m repro.obs --snapshot obs-snapshot.json
+    python -m repro.obs --snapshot obs-snapshot.json --format prom
+    python -m repro.obs --snapshot obs-snapshot.json --watch 2
+
+Snapshot files are written by :func:`repro.obs.expose.write_snapshot` —
+``python -m repro.experiments --snapshot-out PATH`` produces one at the
+end of a run, and a long-running simulation can rewrite the file
+periodically; ``--watch N`` then re-reads and re-renders it every N
+seconds, turning the snapshot file into a live one-screen dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .expose import read_snapshot, render_dashboard, render_text
+
+FORMATS = ("dashboard", "prom")
+
+
+def render(payload: dict, fmt: str) -> str:
+    if fmt == "prom":
+        return render_text(payload.get("metrics", {}))
+    return render_dashboard(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        required=True,
+        help="obs snapshot JSON (written by --snapshot-out / write_snapshot)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="dashboard",
+        help="dashboard (one-screen text) or prom (Prometheus exposition)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="re-read and re-render the snapshot every SECONDS until ^C",
+    )
+    args = parser.parse_args(argv)
+    if args.watch is not None and args.watch <= 0:
+        parser.error("--watch must be positive")
+
+    try:
+        payload = read_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        parser.error(f"--snapshot {args.snapshot}: {exc}")
+    try:
+        print(render(payload, args.format))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        return 0
+
+    if args.watch is None:
+        return 0
+    try:
+        while True:
+            time.sleep(args.watch)
+            try:
+                payload = read_snapshot(args.snapshot)
+            except (OSError, ValueError) as exc:
+                print(f"[watch] {args.snapshot}: {exc}", file=sys.stderr)
+                continue
+            # Clear-screen escape keeps the dashboard truly one-screen.
+            print("\033[2J\033[H", end="")
+            print(render(payload, args.format))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

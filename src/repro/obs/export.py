@@ -58,11 +58,12 @@ def write_jsonl(source: Tracer | Iterable[Span], path: str | Path) -> int:
 
 
 def summary_table(
-    source: Tracer | Iterable[Span], sort_by: str = "total"
+    source: Tracer | Iterable[Span], sort_by: str = "name"
 ) -> str:
     """Aggregate spans by name into a fixed-width table.
 
-    *sort_by* is one of ``"total"``, ``"count"``, or ``"name"``.
+    *sort_by* is one of ``"name"`` (the default — stable ordering for
+    golden-test output), ``"count"``, or ``"total"``.
     """
     groups: dict[str, list[float]] = {}
     for span in _spans_of(source):
@@ -107,14 +108,17 @@ def summary_table(
 
 
 def metrics_table(registry: MetricsRegistry) -> str:
-    """Render a registry snapshot as aligned ``name  kind  value`` rows."""
+    """Render a registry snapshot as aligned ``name  kind  value`` rows.
+
+    Rows sort by metric name and the value column is right-aligned, so
+    the rendering is stable enough for golden tests and scans like a
+    numeric column should.
+    """
     snapshot = registry.snapshot()
     if not snapshot:
         return "(no metrics recorded)"
-    width = max(len("metric"), *(len(name) for name in snapshot))
-    lines = [f"{'metric':<{width}}  {'kind':<9}  value"]
-    lines.append("-" * len(lines[0]))
-    for name, entry in snapshot.items():
+    rows = []
+    for name, entry in snapshot.items():  # snapshot() is already name-sorted
         kind = entry["kind"]
         if kind == "histogram":
             value = (
@@ -124,7 +128,13 @@ def metrics_table(registry: MetricsRegistry) -> str:
             )
         else:
             value = _fmt(entry["value"])
-        lines.append(f"{name:<{width}}  {kind:<9}  {value}")
+        rows.append((name, kind, value))
+    name_width = max(len("metric"), *(len(r[0]) for r in rows))
+    value_width = max(len("value"), *(len(r[2]) for r in rows))
+    lines = [f"{'metric':<{name_width}}  {'kind':<9}  {'value':>{value_width}}"]
+    lines.append("-" * len(lines[0]))
+    for name, kind, value in rows:
+        lines.append(f"{name:<{name_width}}  {kind:<9}  {value:>{value_width}}")
     return "\n".join(lines)
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 import random
 import threading
+import zlib
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -112,8 +113,12 @@ class Histogram:
 
     Count, sum, min, and max are exact; quantiles come from a uniform
     reservoir sample of at most ``reservoir_size`` values (exact while
-    fewer values than that have been recorded).  The reservoir RNG is
-    seeded from the metric name, so runs are reproducible.
+    fewer values than that have been recorded).  The reservoir RNG is a
+    per-instance ``random.Random`` seeded from a stable digest of the
+    metric name (``hash()`` is salted per process, which would make
+    quantiles differ between ``--jobs N`` workers and their parent), so
+    identically named histograms fed identical values sample
+    identically in every process.
     """
 
     __slots__ = ("name", "reservoir_size", "_count", "_sum", "_min", "_max",
@@ -129,7 +134,7 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
         self._reservoir: list[float] = []
-        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
     def record(self, value: float) -> None:

@@ -1,0 +1,686 @@
+"""Model-quality telemetry: estimate-vs-actual accuracy and drift.
+
+The paper validates derived cost models *offline* with R²/SEE and the
+§5 error bands, but a deployed model rots silently as the local
+environment drifts away from the regime it was sampled under (§1's 30x
+cost swings).  This module closes the loop online:
+
+* :class:`AccuracyTracker` — rolling windows of
+  ``(predicted_seconds, actual_seconds)`` pairs keyed by
+  ``(site, query_class, contention_state)``, maintaining the paper's §5
+  bands (% of estimates with relative error ≤ 30%, % within a factor of
+  2), mean relative error, and bias (signed mean relative error).
+  Every recording also lands in the global metrics registry, so the
+  numbers show up in snapshots and the exposition surface for free;
+* :func:`accuracy_table` — a per-key renderer of those windows (the
+  online counterpart of the Table-5 validation rows);
+* :class:`DriftDetector` — configurable rules over the tracker
+  (window fraction below the "good" band, sustained bias, probing-cost
+  readings escaping the model's partitioned [Cmin, Cmax] range) that
+  raise structured :class:`DriftEvent`\\ s, which the MDBS maintenance
+  layer turns into targeted re-derivations.
+
+Band thresholds intentionally mirror
+:mod:`repro.core.validation` (the offline validator); the constants are
+restated here so the observability substrate stays import-light, and a
+test pins the two modules together.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, NamedTuple
+
+from .metrics import get_registry
+
+__all__ = [
+    "AccuracySample",
+    "AccuracyTracker",
+    "AccuracyWindow",
+    "DriftDetector",
+    "DriftEvent",
+    "DriftPolicy",
+    "WindowStats",
+    "accuracy_table",
+    "get_tracker",
+    "set_tracker",
+]
+
+#: "Very good" (§5): relative error within 30%.
+VERY_GOOD_RELATIVE_ERROR = 0.30
+#: "Good" (§5): within one time larger or smaller (a factor of 2).
+GOOD_FACTOR = 2.0
+
+
+def _relative_error(predicted: float, actual: float) -> float:
+    if actual == 0.0:
+        return float("inf") if predicted != 0.0 else 0.0
+    return abs(predicted - actual) / abs(actual)
+
+
+def _signed_relative_error(predicted: float, actual: float) -> float:
+    if actual == 0.0:
+        return 0.0 if predicted == 0.0 else float("inf")
+    return (predicted - actual) / abs(actual)
+
+
+def _within_factor(predicted: float, actual: float, factor: float) -> bool:
+    if actual <= 0.0:
+        return predicted == actual
+    if predicted <= 0.0:
+        return False
+    return max(predicted / actual, actual / predicted) <= factor
+
+
+class AccuracySample(NamedTuple):
+    """One estimate checked against reality.
+
+    A NamedTuple rather than a dataclass: one is built per recorded
+    plan step on the serving path, and tuple construction keeps that
+    hot path inside the <5% overhead budget (tests/obs/test_overhead).
+    """
+
+    predicted: float
+    actual: float
+    at_time: float
+    relative_error: float
+    signed_error: float
+    very_good: bool
+    good: bool
+
+    @classmethod
+    def make(cls, predicted: float, actual: float, at_time: float) -> "AccuracySample":
+        rel = _relative_error(predicted, actual)
+        return cls(
+            float(predicted),
+            float(actual),
+            float(at_time),
+            rel,
+            _signed_relative_error(predicted, actual),
+            rel <= VERY_GOOD_RELATIVE_ERROR,
+            _within_factor(predicted, actual, GOOD_FACTOR),
+        )
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregate view of one accuracy window (or a merge of several)."""
+
+    count: int
+    pct_very_good: float
+    pct_good: float
+    mean_relative_error: float
+    bias: float
+    mean_predicted: float
+    mean_actual: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.count,
+            "very_good_pct": self.pct_very_good,
+            "good_pct": self.pct_good,
+            "mean_rel_err": self.mean_relative_error,
+            "bias": self.bias,
+            "mean_predicted": self.mean_predicted,
+            "mean_actual": self.mean_actual,
+        }
+
+
+_EMPTY_STATS = WindowStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class AccuracyWindow:
+    """A bounded rolling window of accuracy samples with O(1) stats.
+
+    Band membership and error terms are classified once at insertion;
+    running sums are adjusted on eviction, so the hot-path cost of a
+    recording is constant regardless of the window size.
+    """
+
+    __slots__ = (
+        "window_size", "_samples", "_n_very_good", "_n_good",
+        "_sum_rel", "_sum_signed", "_sum_predicted", "_sum_actual",
+    )
+
+    def __init__(self, window_size: int = 128) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self.window_size = window_size
+        self._samples: deque[AccuracySample] = deque()
+        self._n_very_good = 0
+        self._n_good = 0
+        self._sum_rel = 0.0
+        self._sum_signed = 0.0
+        self._sum_predicted = 0.0
+        self._sum_actual = 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, predicted: float, actual: float, at_time: float = 0.0) -> AccuracySample:
+        sample = AccuracySample.make(predicted, actual, at_time)
+        self.push(sample)
+        return sample
+
+    def push(self, sample: AccuracySample) -> None:
+        """Append an already-classified sample (shared across windows).
+
+        The serving path calls this for every recorded plan step, so the
+        eviction arithmetic is inlined rather than routed via
+        :meth:`_apply` (tests/obs/test_overhead budgets this path).
+        """
+        self._samples.append(sample)
+        self._n_very_good += sample.very_good
+        self._n_good += sample.good
+        self._sum_rel += sample.relative_error
+        self._sum_signed += sample.signed_error
+        self._sum_predicted += sample.predicted
+        self._sum_actual += sample.actual
+        if len(self._samples) > self.window_size:
+            self._apply(self._samples.popleft(), -1)
+
+    def _apply(self, sample: AccuracySample, sign: int) -> None:
+        self._n_very_good += sign * sample.very_good
+        self._n_good += sign * sample.good
+        self._sum_rel += sign * sample.relative_error
+        self._sum_signed += sign * sample.signed_error
+        self._sum_predicted += sign * sample.predicted
+        self._sum_actual += sign * sample.actual
+
+    def stats(self) -> WindowStats:
+        n = len(self._samples)
+        if n == 0:
+            return _EMPTY_STATS
+        return WindowStats(
+            count=n,
+            pct_very_good=100.0 * self._n_very_good / n,
+            pct_good=100.0 * self._n_good / n,
+            mean_relative_error=self._sum_rel / n,
+            bias=self._sum_signed / n,
+            mean_predicted=self._sum_predicted / n,
+            mean_actual=self._sum_actual / n,
+        )
+
+    def recent_stats(self, k: int) -> WindowStats:
+        """Stats over the most recent *k* samples only (drift rules)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        recent = list(self._samples)[-k:]
+        n = len(recent)
+        if n == 0:
+            return _EMPTY_STATS
+        return WindowStats(
+            count=n,
+            pct_very_good=100.0 * sum(s.very_good for s in recent) / n,
+            pct_good=100.0 * sum(s.good for s in recent) / n,
+            mean_relative_error=sum(s.relative_error for s in recent) / n,
+            bias=sum(s.signed_error for s in recent) / n,
+            mean_predicted=sum(s.predicted for s in recent) / n,
+            mean_actual=sum(s.actual for s in recent) / n,
+        )
+
+
+class AccuracyTracker:
+    """Estimate-vs-actual accuracy keyed by (site, query class, state).
+
+    Two window levels are maintained per recording:
+
+    * a **state** window keyed ``(site, class_label, state)`` — the rows
+      of :func:`accuracy_table`, the online Table-5;
+    * a **class** window keyed ``(site, class_label)`` — the aggregate
+      the drift rules (and the exported gauges) read, since rebuild
+      decisions are per class, not per state.
+
+    Probing-cost readings are tracked per site (fed by the
+    :class:`~repro.mdbs.probing_service.ProbingService`), so drift rules
+    can notice the probing distribution escaping a model's partitioned
+    [Cmin, Cmax] range before the accuracy windows fill with misses.
+
+    ``metric_prefix`` names the gauges/histograms exported into the
+    global metrics registry on every recording; pass ``export=False``
+    to keep a tracker private (e.g. inside tests).
+    """
+
+    def __init__(
+        self,
+        window_size: int = 128,
+        probe_window_size: int = 64,
+        metric_prefix: str = "mdbs.accuracy",
+        export: bool = True,
+    ) -> None:
+        self.window_size = window_size
+        self.probe_window_size = probe_window_size
+        self.metric_prefix = metric_prefix
+        self.export = export
+        self._lock = threading.Lock()
+        self._state_windows: dict[tuple[str, str, int], AccuracyWindow] = {}
+        self._class_windows: dict[tuple[str, str], AccuracyWindow] = {}
+        self._probes: dict[str, deque[tuple[float, float]]] = {}
+        #: Structured drift events raised against this tracker's windows
+        #: (appended by the maintenance layer), newest last.
+        self.drift_events: list[DriftEvent] = []
+
+    # -- recording (the serving hot path) --------------------------------
+
+    def record(
+        self,
+        site: str,
+        class_label: str,
+        state: int,
+        predicted: float,
+        actual: float,
+        at_time: float = 0.0,
+    ) -> AccuracySample:
+        """Check one cost estimate against its observed outcome."""
+        # Classify once; both windows share the frozen sample.
+        sample = AccuracySample.make(predicted, actual, at_time)
+        with self._lock:
+            state_window = self._state_windows.get((site, class_label, state))
+            if state_window is None:
+                state_window = AccuracyWindow(self.window_size)
+                self._state_windows[(site, class_label, state)] = state_window
+            class_window = self._class_windows.get((site, class_label))
+            if class_window is None:
+                class_window = AccuracyWindow(self.window_size)
+                self._class_windows[(site, class_label)] = class_window
+            state_window.push(sample)
+            class_window.push(sample)
+            if self.export:
+                stats = class_window.stats()
+        if self.export:
+            registry = get_registry()
+            registry.inc(f"{self.metric_prefix}.samples")
+            registry.observe(f"{self.metric_prefix}.rel_error", sample.relative_error)
+            prefix = f"{self.metric_prefix}.{site}.{class_label}"
+            registry.set_gauge(f"{prefix}.good_pct", stats.pct_good)
+            registry.set_gauge(f"{prefix}.very_good_pct", stats.pct_very_good)
+            registry.set_gauge(f"{prefix}.bias", stats.bias)
+        return sample
+
+    def record_probe(self, site: str, cost: float, at_time: float = 0.0) -> None:
+        """Note one probing-cost reading for *site* (drift rule input)."""
+        with self._lock:
+            window = self._probes.get(site)
+            if window is None:
+                window = deque(maxlen=self.probe_window_size)
+                self._probes[site] = window
+            window.append((float(cost), float(at_time)))
+
+    def record_drift_event(self, event: "DriftEvent") -> None:
+        with self._lock:
+            self.drift_events.append(event)
+
+    # -- inspection -------------------------------------------------------
+
+    def keys(self) -> list[tuple[str, str, int]]:
+        with self._lock:
+            return sorted(self._state_windows)
+
+    def class_keys(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return sorted(self._class_windows)
+
+    def stats(self, site: str, class_label: str, state: int | None = None) -> WindowStats:
+        """Window stats for one key; ``state=None`` = the class aggregate."""
+        with self._lock:
+            if state is None:
+                window = self._class_windows.get((site, class_label))
+            else:
+                window = self._state_windows.get((site, class_label, state))
+        return window.stats() if window is not None else _EMPTY_STATS
+
+    def recent_stats(self, site: str, class_label: str, k: int) -> WindowStats:
+        with self._lock:
+            window = self._class_windows.get((site, class_label))
+        return window.recent_stats(k) if window is not None else _EMPTY_STATS
+
+    def probe_readings(self, site: str) -> list[tuple[float, float]]:
+        """Recent (cost, at_time) probing readings for *site*."""
+        with self._lock:
+            return list(self._probes.get(site, ()))
+
+    def sample_count(self) -> int:
+        with self._lock:
+            return sum(len(w) for w in self._class_windows.values())
+
+    def reset(self, site: str | None = None, class_label: str | None = None) -> None:
+        """Drop windows (all, one site's, or one (site, class)'s).
+
+        The maintenance layer calls this after a drift-triggered rebuild
+        so post-rebuild accuracy is measured fresh, not diluted by the
+        stale model's misses; the site's probe window resets too, since
+        the new model's state ranges re-anchor what "in range" means.
+        """
+        with self._lock:
+            def keep(key_site: str, key_label: str) -> bool:
+                if site is not None and key_site != site:
+                    return True
+                if class_label is not None and key_label != class_label:
+                    return True
+                return False
+
+            self._state_windows = {
+                k: w for k, w in self._state_windows.items() if keep(k[0], k[1])
+            }
+            self._class_windows = {
+                k: w for k, w in self._class_windows.items() if keep(k[0], k[1])
+            }
+            if site is None:
+                self._probes.clear()
+            else:
+                self._probes.pop(site, None)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every window's current stats."""
+        with self._lock:
+            state_items = sorted(self._state_windows.items())
+            class_items = sorted(self._class_windows.items())
+            probe_items = sorted(self._probes.items())
+            events = list(self.drift_events)
+        rows = []
+        for (site, label, state), window in state_items:
+            rows.append(
+                {"site": site, "class": label, "state": state}
+                | window.stats().to_dict()
+            )
+        for (site, label), window in class_items:
+            rows.append(
+                {"site": site, "class": label, "state": None}
+                | window.stats().to_dict()
+            )
+        probes = {
+            site: {
+                "n": len(readings),
+                "last": readings[-1][0] if readings else None,
+                "min": min(c for c, _ in readings) if readings else None,
+                "max": max(c for c, _ in readings) if readings else None,
+            }
+            for site, readings in probe_items
+        }
+        return {
+            "rows": rows,
+            "probes": probes,
+            "drift_events": [event.to_dict() for event in events],
+        }
+
+
+def accuracy_table(source: AccuracyTracker | dict) -> str:
+    """Render accuracy windows as an aligned table (online Table 5).
+
+    Accepts a live :class:`AccuracyTracker` or a
+    :meth:`AccuracyTracker.snapshot` payload (as the CLI reads back
+    from disk).  Rows sort by (site, class, state); the per-class
+    aggregate renders as state ``*`` after its per-state rows.
+    """
+    snapshot = source.snapshot() if isinstance(source, AccuracyTracker) else source
+    rows = snapshot.get("rows", [])
+    if not rows:
+        return "(no accuracy samples recorded)"
+    headers = (
+        "site/class/state", "n", "very_good%", "good%",
+        "mean_rel_err", "bias", "pred_s", "obs_s",
+    )
+    rendered = []
+    ordered = sorted(
+        rows,
+        key=lambda r: (r["site"], r["class"], r["state"] is None, r["state"] or 0),
+    )
+    for row in ordered:
+        state = "*" if row["state"] is None else f"s{row['state']}"
+        rendered.append(
+            (
+                f"{row['site']}/{row['class']}/{state}",
+                str(row["n"]),
+                f"{row['very_good_pct']:.1f}",
+                f"{row['good_pct']:.1f}",
+                f"{row['mean_rel_err']:.3f}",
+                f"{row['bias']:+.3f}",
+                f"{row['mean_predicted']:.4f}",
+                f"{row['mean_actual']:.4f}",
+            )
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(
+            h.ljust(w) if i == 0 else h.rjust(w)
+            for i, (h, w) in enumerate(zip(headers, widths))
+        )
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                c.ljust(w) if i == 0 else c.rjust(w)
+                for i, (c, w) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Drift detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Configurable drift rules over a tracker's windows.
+
+    Any rule can be disabled by setting its threshold to ``None``.
+    ``recent_window`` bounds how far back the accuracy rules look, so a
+    long healthy history cannot mask a fresh regression.
+    """
+
+    #: Accuracy rules read the most recent this-many class samples.
+    recent_window: int = 32
+    #: Minimum recent samples before accuracy rules may fire.
+    min_samples: int = 12
+    #: Fire when the recent fraction within the "good" (2x) band drops
+    #: below this percentage.
+    good_band_floor_pct: float | None = 50.0
+    #: Fire when |mean signed relative error| exceeds this (sustained
+    #: over/under-estimation even if some estimates still land in band).
+    bias_limit: float | None = 0.75
+    #: Fire when this fraction of recent probe readings falls outside
+    #: the model's partitioned [Cmin, Cmax] contention range.
+    probe_escape_fraction: float | None = 0.5
+    #: Minimum probe readings before the escape rule may fire.
+    probe_min_readings: int = 4
+    #: Relative margin around [Cmin, Cmax] before a probe counts as
+    #: escaped (clamping just past an edge is normal, §3.3).
+    probe_margin: float = 0.10
+    #: Minimum simulated seconds between events for the same
+    #: (site, class) — a rebuild needs time to take effect.
+    cooldown_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detected model-quality regression."""
+
+    site: str
+    class_label: str
+    rule: str  # "good_band" | "bias" | "probe_escape"
+    at_time: float
+    detail: str
+    stats: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"drift[{self.rule}] {self.site}/{self.class_label} "
+            f"@t={self.at_time:.0f}: {self.detail}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "class": self.class_label,
+            "rule": self.rule,
+            "at_time": self.at_time,
+            "detail": self.detail,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DriftEvent":
+        return cls(
+            site=payload["site"],
+            class_label=payload["class"],
+            rule=payload["rule"],
+            at_time=float(payload["at_time"]),
+            detail=payload.get("detail", ""),
+            stats=dict(payload.get("stats", {})),
+        )
+
+
+class DriftDetector:
+    """Evaluates a :class:`DriftPolicy` against tracker windows.
+
+    Rules run in escalation order — probe-range escape (the earliest
+    signal: the environment left the regime the model was sampled in),
+    then the good-band floor, then sustained bias — and at most one
+    event fires per (site, class) per check, since the remedy (a
+    targeted re-derivation) is the same for all three.
+    """
+
+    def __init__(self, policy: DriftPolicy | None = None) -> None:
+        self.policy = policy or DriftPolicy()
+        self._last_fired: dict[tuple[str, str], float] = {}
+
+    def check(
+        self,
+        tracker: AccuracyTracker,
+        site: str,
+        states_by_class: Mapping[str, object],
+        now: float,
+    ) -> list[DriftEvent]:
+        """Drift events for *site*, one per degraded class at most.
+
+        *states_by_class* maps each class label under watch to the
+        active model's :class:`~repro.core.partition.ContentionStates`
+        (anything with ``cmin``/``cmax`` works); classes absent from the
+        mapping only get the accuracy rules.
+        """
+        policy = self.policy
+        events: list[DriftEvent] = []
+        probes = tracker.probe_readings(site)
+        for label in sorted(states_by_class):
+            key = (site, label)
+            last = self._last_fired.get(key)
+            if last is not None and now - last < policy.cooldown_seconds:
+                continue
+            event = self._check_class(
+                tracker, site, label, states_by_class.get(label), probes, now
+            )
+            if event is not None:
+                self._last_fired[key] = now
+                events.append(event)
+        return events
+
+    def _check_class(
+        self,
+        tracker: AccuracyTracker,
+        site: str,
+        label: str,
+        states: object | None,
+        probes: list[tuple[float, float]],
+        now: float,
+    ) -> DriftEvent | None:
+        policy = self.policy
+
+        if (
+            policy.probe_escape_fraction is not None
+            and states is not None
+            and len(probes) >= policy.probe_min_readings
+        ):
+            low = states.cmin * (1.0 - policy.probe_margin)
+            high = states.cmax * (1.0 + policy.probe_margin)
+            escaped = sum(1 for cost, _ in probes if not low <= cost <= high)
+            fraction = escaped / len(probes)
+            if fraction >= policy.probe_escape_fraction:
+                return DriftEvent(
+                    site=site,
+                    class_label=label,
+                    rule="probe_escape",
+                    at_time=now,
+                    detail=(
+                        f"{escaped}/{len(probes)} recent probes outside "
+                        f"[{states.cmin:.4g}, {states.cmax:.4g}] "
+                        f"(±{policy.probe_margin:.0%})"
+                    ),
+                    stats={"escaped_fraction": fraction, "probes": len(probes)},
+                )
+
+        stats = tracker.recent_stats(site, label, policy.recent_window)
+        if stats.count < policy.min_samples:
+            return None
+        if (
+            policy.good_band_floor_pct is not None
+            and stats.pct_good < policy.good_band_floor_pct
+        ):
+            return DriftEvent(
+                site=site,
+                class_label=label,
+                rule="good_band",
+                at_time=now,
+                detail=(
+                    f"good-band {stats.pct_good:.1f}% < "
+                    f"{policy.good_band_floor_pct:.1f}% floor "
+                    f"over last {stats.count} estimates"
+                ),
+                stats=stats.to_dict(),
+            )
+        if policy.bias_limit is not None and abs(stats.bias) > policy.bias_limit:
+            return DriftEvent(
+                site=site,
+                class_label=label,
+                rule="bias",
+                at_time=now,
+                detail=(
+                    f"sustained bias {stats.bias:+.2f} beyond "
+                    f"±{policy.bias_limit:.2f} over last {stats.count} estimates"
+                ),
+                stats=stats.to_dict(),
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The global tracker (mirrors the global metrics registry)
+# ---------------------------------------------------------------------------
+
+_active_tracker = AccuracyTracker()
+
+
+def get_tracker() -> AccuracyTracker:
+    return _active_tracker
+
+
+def set_tracker(tracker: AccuracyTracker) -> AccuracyTracker:
+    """Install *tracker* globally; returns the previous one."""
+    global _active_tracker
+    previous = _active_tracker
+    _active_tracker = tracker
+    return previous
+
+
+def _merge_stats(stats: Iterable[WindowStats]) -> WindowStats:
+    """Sample-weighted merge of several windows (tooling helper)."""
+    items = [s for s in stats if s.count]
+    n = sum(s.count for s in items)
+    if n == 0:
+        return _EMPTY_STATS
+    return WindowStats(
+        count=n,
+        pct_very_good=sum(s.pct_very_good * s.count for s in items) / n,
+        pct_good=sum(s.pct_good * s.count for s in items) / n,
+        mean_relative_error=sum(s.mean_relative_error * s.count for s in items) / n,
+        bias=sum(s.bias * s.count for s in items) / n,
+        mean_predicted=sum(s.mean_predicted * s.count for s in items) / n,
+        mean_actual=sum(s.mean_actual * s.count for s in items) / n,
+    )

@@ -1,0 +1,109 @@
+"""End-to-end drift loop: shift -> detect -> re-derive -> recover.
+
+Runs the scripted drift-detection experiment once and checks every leg
+of the ISSUE acceptance path:
+
+* the contention shift is detected (a ``DriftEvent`` is raised a few
+  rounds after the load builder pins the high level),
+* ``maintain()`` publishes a **new registry version** whose provenance
+  carries the triggering event,
+* the rebuilt models put the good-band percentage back up, and
+* the counterfactual — stale v1 models, detection disarmed, same load —
+  shows the degradation in the accuracy table instead.
+"""
+
+import pytest
+
+from repro.experiments.config import tiny
+from repro.experiments.drift_detection import (
+    render_drift_detection,
+    run_drift_detection,
+)
+from repro.obs.quality import accuracy_table
+
+TINY = tiny(seed=7)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_drift_detection(TINY)
+
+
+class TestDetection:
+    def test_event_raised_after_shift(self, result):
+        assert result.events, "no DriftEvent raised for the scripted shift"
+        assert result.detection_latency_rounds is not None
+        assert 0 <= result.detection_latency_rounds <= 6
+
+    def test_no_events_during_baseline(self, result):
+        shifted = result.shift_round
+        for r in result.rounds:
+            if r.index < shifted:
+                assert not r.events
+
+    def test_only_the_drifting_site_is_flagged(self, result):
+        assert {e.site for e in result.events} == {result.drift_site}
+
+    def test_probe_escape_is_the_leading_rule(self, result):
+        # The probing-cost distribution leaves the partitioned range
+        # before enough bad accuracy samples accumulate.
+        assert result.events[0].rule == "probe_escape"
+
+
+class TestPublication:
+    def test_new_version_with_trigger_in_provenance(self, result):
+        assert result.published, "drift raised no new registry version"
+        for site, label, version, trigger in result.published:
+            assert site == result.drift_site
+            assert version >= 2
+            assert trigger is not None and "drift[" in trigger
+
+    def test_watched_class_rebuilt(self, result):
+        labels = {label for _, label, _, _ in result.published}
+        assert result.watched_class in labels
+
+    def test_timeline_records_the_version_flip(self, result):
+        versions = [r.active_version for r in result.rounds if r.phase != "stale"]
+        assert versions[0] == 1
+        assert versions[-1] >= 2
+        assert versions == sorted(versions)
+
+
+class TestRecovery:
+    def test_baseline_and_recovery_are_good(self, result):
+        assert result.baseline.count > 0
+        assert result.baseline.pct_good >= 75.0
+        assert result.recovered.count > 0
+        assert result.recovered.pct_good >= 75.0
+
+    def test_stale_counterfactual_degrades(self, result):
+        assert result.stale.count > 0
+        assert result.stale.pct_good <= 25.0
+        assert result.recovered.pct_good > result.stale.pct_good + 50.0
+        # The stale model was derived under calm contention: it
+        # systematically underestimates the shifted regime.
+        assert result.stale.bias < -0.3
+
+    def test_stale_degradation_visible_in_accuracy_table(self, result):
+        # After the stale phase the (reset) tracker holds only the
+        # counterfactual windows — the rendered table shows the damage.
+        from repro import obs
+
+        table = accuracy_table(obs.get_tracker())
+        row = next(
+            line
+            for line in table.splitlines()
+            if line.lstrip().startswith(
+                f"{result.drift_site}/{result.watched_class}/*"
+            )
+        )
+        assert "0.0" in row  # good% column
+
+
+class TestRendering:
+    def test_render_carries_the_narrative(self, result):
+        text = render_drift_detection(result)
+        assert "baseline" in text and "recovery" in text and "stale" in text
+        assert "drift detected" in text
+        assert "published drift_site/" in text
+        assert "trigger: drift[" in text

@@ -240,6 +240,74 @@ class TestTTLCache:
             service.probe("nowhere")
 
 
+class TestSourceCounterInvariant:
+    """Every acquisition lands on exactly one ``mdbs.probing.source.*``
+    level — so the four level counters always sum to the cache-miss
+    count, through invalidation, degradation, and clock expiry alike."""
+
+    SOURCES = ("observed", "estimated", "last_known", "static")
+
+    def _source_total(self, registry):
+        return sum(
+            registry.counter_value(f"mdbs.probing.source.{s}") for s in self.SOURCES
+        )
+
+    def test_one_level_counter_per_acquisition(self, mini_mdbs, monkeypatch):
+        server, sites = mini_mdbs
+        oracle = server.agents["oracle_site"]
+        db2 = server.agents["db2_site"]
+        oracle.calibrate_estimator(samples=40, interval_seconds=45.0)
+
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            service = ProbingService(server.agents, ttl=600.0)
+
+            service.probe("oracle_site")  # miss -> observed
+            assert self._source_total(registry) == 1.0
+
+            service.probe("oracle_site")  # hit -> no source counter
+            assert self._source_total(registry) == 1.0
+
+            service.invalidate("oracle_site")
+            service.probe("oracle_site")  # miss again -> observed
+            assert self._source_total(registry) == 2.0
+            assert registry.counter_value("mdbs.probing.source.observed") == 2.0
+
+            def boom():
+                raise RuntimeError("probe table is gone")
+
+            monkeypatch.setattr(oracle, "observed_probing_cost", boom)
+            service.invalidate("oracle_site")
+            service.probe("oracle_site")  # degrade -> estimated
+            assert self._source_total(registry) == 3.0
+            assert registry.counter_value("mdbs.probing.source.estimated") == 1.0
+
+            service.probe("db2_site")  # healthy -> observed
+            assert self._source_total(registry) == 4.0
+
+            monkeypatch.setattr(db2, "observed_probing_cost", boom)
+            monkeypatch.setattr(db2, "estimator", None)
+            # Expire (not invalidate) the entry: the stale reading stays
+            # available as the last_known fallback.
+            sites["db2_site"].environment.advance(1200.0)
+            service.probe("db2_site")  # degrade -> last_known
+            assert self._source_total(registry) == 5.0
+            assert registry.counter_value("mdbs.probing.source.last_known") == 1.0
+
+            service.invalidate("db2_site")
+            service.probe("db2_site")  # nothing left -> static
+            assert self._source_total(registry) == 6.0
+            assert registry.counter_value("mdbs.probing.source.static") == 1.0
+
+            assert (
+                self._source_total(registry)
+                == registry.counter_value("mdbs.probing.cache_misses")
+            )
+        finally:
+            obs.set_registry(previous)
+
+
 class TestFallbackChain:
     def _broken(self, agent, monkeypatch):
         def boom():

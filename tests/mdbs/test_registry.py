@@ -51,6 +51,24 @@ class TestPublish:
         assert entry.provenance.r_squared == pytest.approx(model.r_squared)
         assert entry.provenance.standard_error == pytest.approx(model.standard_error)
 
+    def test_drift_trigger_survives_provenance_round_trip(self, registry):
+        model = make_model()
+        trigger = "drift[probe_escape] s1/G1 @t=120: 5/8 probes out of range"
+        entry = registry.publish(
+            "s1", model, ModelProvenance.from_model(model, trigger=trigger)
+        )
+        assert entry.provenance.trigger == trigger
+        payload = entry.provenance.to_dict()
+        assert payload["trigger"] == trigger
+        assert ModelProvenance.from_dict(payload) == entry.provenance
+        # Ordinary §2 maintenance carries no trigger — and a payload
+        # written before the field existed still round-trips.
+        plain = ModelProvenance.from_model(model)
+        assert plain.trigger is None
+        legacy = plain.to_dict()
+        legacy.pop("trigger", None)
+        assert ModelProvenance.from_dict(legacy).trigger is None
+
     def test_keys_are_site_class_pairs(self, registry):
         registry.publish("s1", make_model("G1"))
         registry.publish("s1", make_model("G3"))

@@ -55,3 +55,57 @@ class TestNoopOverhead:
         first = obs.span("a", x=1)
         second = obs.span("b")
         assert first is second  # the shared singleton
+
+
+class TestAccuracyTrackingOverhead:
+    def test_recording_under_5pct_of_plan_execution_floor(self, small_database):
+        """Per-plan accuracy recording must cost < 5% of plan execution.
+
+        ``MDBSServer.execute`` records one accuracy sample per plan step
+        that carries a class label — at most 3 for a binary join plan
+        (the ship step has none) — plus one plan-level histogram
+        observation.  The executed plan itself runs 4 engine steps, each
+        at least as expensive as the cheapest possible local select (two
+        of them *are* selects; the ship and join cost strictly more), so
+        4x the tight-loop query time is a hard lower bound on the work
+        the recording rides along with.
+        """
+        from repro.obs.quality import AccuracyTracker
+
+        query = small_database.parse("select a from t1 where a < 100")
+        for _ in range(10):  # warmup
+            small_database.execute(query)
+
+        def time_engine():
+            n = 60
+            started = time.perf_counter()
+            for _ in range(n):
+                small_database.execute(query)
+            return (time.perf_counter() - started) / n
+
+        tracker = AccuracyTracker(export=False)
+
+        def time_record():
+            n = 20_000
+            started = time.perf_counter()
+            for i in range(n):
+                tracker.record(
+                    "site", "G1", i % 3, predicted=1.0, actual=1.1, at_time=float(i)
+                )
+            return (time.perf_counter() - started) / n
+
+        def time_observe():
+            n = 20_000
+            registry = obs.MetricsRegistry()
+            started = time.perf_counter()
+            for _ in range(n):
+                registry.observe("mdbs.plan.rel_error", 0.1)
+            return (time.perf_counter() - started) / n
+
+        engine_seconds = best_of(3, time_engine)
+        per_plan = 3 * best_of(3, time_record) + best_of(3, time_observe)
+        floor = 4 * engine_seconds
+        assert per_plan < 0.05 * floor, (
+            f"per-plan accuracy recording costs {per_plan * 1e6:.2f}us; the "
+            f"plan-execution floor is {floor * 1e6:.1f}us — budget exceeded"
+        )

@@ -1,0 +1,291 @@
+"""Model-quality telemetry: windows, the tracker, drift rules."""
+
+import pytest
+
+from repro import obs
+from repro.core import validation
+from repro.obs import quality
+from repro.obs.quality import (
+    AccuracySample,
+    AccuracyTracker,
+    AccuracyWindow,
+    DriftDetector,
+    DriftEvent,
+    DriftPolicy,
+    accuracy_table,
+)
+
+
+class FakeStates:
+    """Duck-typed stand-in for ContentionStates in drift checks."""
+
+    def __init__(self, cmin: float, cmax: float) -> None:
+        self.cmin = cmin
+        self.cmax = cmax
+
+
+def test_band_constants_pin_the_offline_validator():
+    """quality restates §5 band thresholds; they must match core.validation."""
+    assert quality.VERY_GOOD_RELATIVE_ERROR == validation.VERY_GOOD_RELATIVE_ERROR
+    assert quality.GOOD_FACTOR == validation.GOOD_FACTOR
+
+
+class TestAccuracySample:
+    def test_bands_match_offline_validator(self):
+        for predicted, actual in [
+            (1.0, 1.0), (1.25, 1.0), (1.35, 1.0), (1.9, 1.0),
+            (2.5, 1.0), (0.4, 1.0), (0.75, 1.0),
+        ]:
+            sample = AccuracySample.make(predicted, actual, at_time=0.0)
+            assert sample.very_good == validation.is_very_good(predicted, actual)
+            assert sample.good == validation.is_good(predicted, actual)
+
+    def test_zero_actual(self):
+        perfect = AccuracySample.make(0.0, 0.0, at_time=0.0)
+        assert perfect.relative_error == 0.0 and perfect.good
+        miss = AccuracySample.make(1.0, 0.0, at_time=0.0)
+        assert miss.relative_error == float("inf") and not miss.good
+
+    def test_signed_error_direction(self):
+        assert AccuracySample.make(0.5, 1.0, at_time=0.0).signed_error < 0
+        assert AccuracySample.make(2.0, 1.0, at_time=0.0).signed_error > 0
+
+
+class TestAccuracyWindow:
+    def test_stats_match_recomputation_after_eviction(self):
+        window = AccuracyWindow(window_size=5)
+        pairs = [(1.0, 1.0), (3.0, 1.0), (1.1, 1.0), (0.2, 1.0),
+                 (1.0, 2.5), (2.0, 2.0), (0.9, 1.0), (5.0, 1.0)]
+        for predicted, actual in pairs:
+            window.record(predicted, actual)
+        assert len(window) == 5
+        kept = [AccuracySample.make(p, a, 0.0) for p, a in pairs[-5:]]
+        stats = window.stats()
+        assert stats.count == 5
+        assert stats.pct_good == pytest.approx(
+            100.0 * sum(s.good for s in kept) / 5
+        )
+        assert stats.mean_relative_error == pytest.approx(
+            sum(s.relative_error for s in kept) / 5
+        )
+        assert stats.bias == pytest.approx(sum(s.signed_error for s in kept) / 5)
+
+    def test_recent_stats_sees_only_the_tail(self):
+        window = AccuracyWindow(window_size=16)
+        for _ in range(8):
+            window.record(1.0, 1.0)  # perfect
+        for _ in range(4):
+            window.record(10.0, 1.0)  # terrible
+        assert window.stats().pct_good == pytest.approx(100.0 * 8 / 12)
+        assert window.recent_stats(4).pct_good == 0.0
+        assert window.recent_stats(100).count == 12
+
+    def test_empty_and_validation(self):
+        window = AccuracyWindow()
+        assert window.stats().count == 0
+        with pytest.raises(ValueError):
+            AccuracyWindow(window_size=0)
+        with pytest.raises(ValueError):
+            window.recent_stats(0)
+
+
+class TestAccuracyTracker:
+    def test_state_and_class_windows(self):
+        tracker = AccuracyTracker(export=False)
+        tracker.record("A", "G1", 0, predicted=1.0, actual=1.0)
+        tracker.record("A", "G1", 2, predicted=9.0, actual=1.0)
+        assert tracker.keys() == [("A", "G1", 0), ("A", "G1", 2)]
+        assert tracker.class_keys() == [("A", "G1")]
+        assert tracker.stats("A", "G1", 0).pct_good == 100.0
+        assert tracker.stats("A", "G1", 2).pct_good == 0.0
+        assert tracker.stats("A", "G1").count == 2
+        assert tracker.sample_count() == 2
+
+    def test_unknown_key_is_empty(self):
+        tracker = AccuracyTracker(export=False)
+        assert tracker.stats("nowhere", "G9").count == 0
+        assert tracker.recent_stats("nowhere", "G9", 4).count == 0
+        assert tracker.probe_readings("nowhere") == []
+
+    def test_export_feeds_global_registry(self, fresh_registry):
+        tracker = AccuracyTracker(metric_prefix="t.acc")
+        tracker.record("A", "G1", 0, predicted=1.0, actual=1.0)
+        tracker.record("A", "G1", 0, predicted=9.0, actual=1.0)
+        assert fresh_registry.counter_value("t.acc.samples") == 2
+        assert fresh_registry.gauge_value("t.acc.A.G1.good_pct") == 50.0
+        assert fresh_registry.histogram("t.acc.rel_error").count == 2
+
+    def test_export_false_stays_private(self, fresh_registry):
+        tracker = AccuracyTracker(export=False)
+        tracker.record("A", "G1", 0, predicted=1.0, actual=1.0)
+        assert fresh_registry.names() == []
+
+    def test_probe_window_bounded(self):
+        tracker = AccuracyTracker(export=False, probe_window_size=3)
+        for i in range(5):
+            tracker.record_probe("A", float(i), at_time=float(i))
+        readings = tracker.probe_readings("A")
+        assert [cost for cost, _ in readings] == [2.0, 3.0, 4.0]
+
+    def test_reset_scopes(self):
+        tracker = AccuracyTracker(export=False)
+        for site in ("A", "B"):
+            tracker.record(site, "G1", 0, predicted=1.0, actual=1.0)
+            tracker.record(site, "G3", 0, predicted=1.0, actual=1.0)
+            tracker.record_probe(site, 0.5)
+        tracker.reset("A", "G1")
+        assert ("A", "G1") not in tracker.class_keys()
+        assert ("A", "G3") in tracker.class_keys()
+        assert tracker.probe_readings("A") == []  # site probes re-anchor
+        assert tracker.probe_readings("B") != []
+        tracker.reset("B")
+        assert tracker.class_keys() == [("A", "G3")]
+        tracker.reset()
+        assert tracker.class_keys() == []
+
+    def test_snapshot_round_trips_through_table(self):
+        tracker = AccuracyTracker(export=False)
+        tracker.record("A", "G1", 1, predicted=1.0, actual=1.0)
+        tracker.record_probe("A", 0.4)
+        event = DriftEvent("A", "G1", "bias", 9.0, "detail")
+        tracker.record_drift_event(event)
+        snapshot = tracker.snapshot()
+        states = {(r["site"], r["class"], r["state"]) for r in snapshot["rows"]}
+        assert states == {("A", "G1", 1), ("A", "G1", None)}
+        assert snapshot["probes"]["A"]["n"] == 1
+        assert snapshot["drift_events"] == [event.to_dict()]
+        assert accuracy_table(snapshot) == accuracy_table(tracker)
+
+    def test_global_tracker_swap(self):
+        mine = AccuracyTracker(export=False)
+        previous = obs.set_tracker(mine)
+        try:
+            assert obs.get_tracker() is mine
+        finally:
+            obs.set_tracker(previous)
+
+
+class TestAccuracyTable:
+    def test_sorted_with_class_aggregate_last(self):
+        tracker = AccuracyTracker(export=False)
+        tracker.record("B", "G1", 1, predicted=1.0, actual=1.0)
+        tracker.record("A", "G3", 2, predicted=1.0, actual=1.0)
+        tracker.record("A", "G3", 0, predicted=1.0, actual=1.0)
+        lines = accuracy_table(tracker).splitlines()[2:]
+        keys = [line.split()[0] for line in lines]
+        assert keys == ["A/G3/s0", "A/G3/s2", "A/G3/*", "B/G1/s1", "B/G1/*"]
+
+    def test_empty(self):
+        assert "no accuracy samples" in accuracy_table(AccuracyTracker(export=False))
+
+
+class TestDriftDetector:
+    def _tracker_with(self, good: int, bad: int) -> AccuracyTracker:
+        tracker = AccuracyTracker(export=False)
+        for _ in range(good):
+            tracker.record("A", "G1", 0, predicted=1.0, actual=1.0)
+        for _ in range(bad):
+            tracker.record("A", "G1", 0, predicted=10.0, actual=1.0)
+        return tracker
+
+    def test_good_band_rule_fires(self):
+        tracker = self._tracker_with(good=0, bad=16)
+        detector = DriftDetector(DriftPolicy(probe_escape_fraction=None))
+        events = detector.check(tracker, "A", {"G1": None}, now=100.0)
+        assert [e.rule for e in events] == ["good_band"]
+        assert events[0].class_label == "G1"
+        assert "floor" in events[0].detail
+
+    def test_min_samples_gates_accuracy_rules(self):
+        tracker = self._tracker_with(good=0, bad=4)
+        detector = DriftDetector(
+            DriftPolicy(min_samples=12, probe_escape_fraction=None)
+        )
+        assert detector.check(tracker, "A", {"G1": None}, now=0.0) == []
+
+    def test_bias_rule_fires_when_band_rule_disabled(self):
+        tracker = AccuracyTracker(export=False)
+        # Sustained ~1.9x overestimation: inside the 2x "good" band, but
+        # heavily biased.
+        for _ in range(20):
+            tracker.record("A", "G1", 0, predicted=1.9, actual=1.0)
+        detector = DriftDetector(
+            DriftPolicy(
+                good_band_floor_pct=None,
+                bias_limit=0.5,
+                probe_escape_fraction=None,
+            )
+        )
+        events = detector.check(tracker, "A", {"G1": None}, now=0.0)
+        assert [e.rule for e in events] == ["bias"]
+        assert events[0].stats["bias"] == pytest.approx(0.9)
+
+    def test_probe_escape_fires_before_any_accuracy_sample(self):
+        tracker = AccuracyTracker(export=False)
+        for cost in (0.9, 0.95, 1.0, 1.05):
+            tracker.record_probe("A", cost)
+        detector = DriftDetector(DriftPolicy(probe_min_readings=4))
+        events = detector.check(
+            tracker, "A", {"G1": FakeStates(0.1, 0.4)}, now=5.0
+        )
+        assert [e.rule for e in events] == ["probe_escape"]
+        assert events[0].stats["escaped_fraction"] == 1.0
+
+    def test_probe_margin_tolerates_edge_clamping(self):
+        tracker = AccuracyTracker(export=False)
+        for cost in (0.41, 0.42, 0.43, 0.44):  # just past cmax=0.4
+            tracker.record_probe("A", cost)
+        detector = DriftDetector(DriftPolicy(probe_margin=0.10))
+        assert (
+            detector.check(tracker, "A", {"G1": FakeStates(0.1, 0.4)}, now=0.0)
+            == []
+        )
+
+    def test_at_most_one_event_per_class_and_rule_priority(self):
+        # Both probe_escape and good_band would fire; escape wins.
+        tracker = self._tracker_with(good=0, bad=16)
+        for cost in (2.0, 2.0, 2.0, 2.0):
+            tracker.record_probe("A", cost)
+        detector = DriftDetector(DriftPolicy())
+        events = detector.check(
+            tracker, "A", {"G1": FakeStates(0.1, 0.4)}, now=0.0
+        )
+        assert [e.rule for e in events] == ["probe_escape"]
+
+    def test_cooldown_suppresses_refire(self):
+        tracker = self._tracker_with(good=0, bad=16)
+        detector = DriftDetector(
+            DriftPolicy(probe_escape_fraction=None, cooldown_seconds=100.0)
+        )
+        assert detector.check(tracker, "A", {"G1": None}, now=0.0)
+        assert detector.check(tracker, "A", {"G1": None}, now=50.0) == []
+        assert detector.check(tracker, "A", {"G1": None}, now=150.0)
+
+    def test_all_rules_disabled_never_fires(self):
+        tracker = self._tracker_with(good=0, bad=50)
+        detector = DriftDetector(
+            DriftPolicy(
+                good_band_floor_pct=None,
+                bias_limit=None,
+                probe_escape_fraction=None,
+            )
+        )
+        assert detector.check(tracker, "A", {"G1": None}, now=0.0) == []
+
+
+class TestDriftEvent:
+    def test_round_trip(self):
+        event = DriftEvent(
+            site="A",
+            class_label="G3",
+            rule="good_band",
+            at_time=42.0,
+            detail="good-band 10% < 50% floor",
+            stats={"n": 16},
+        )
+        assert DriftEvent.from_dict(event.to_dict()) == event
+
+    def test_describe_mentions_rule_site_class(self):
+        event = DriftEvent("A", "G3", "bias", 7.0, "over")
+        text = event.describe()
+        assert "bias" in text and "A/G3" in text and "over" in text
