@@ -1,0 +1,67 @@
+"""Serving-throughput baseline: the first BENCH_*.json of the repo.
+
+Runs the concurrency ladder of
+:mod:`repro.experiments.serving_throughput` once under pytest-benchmark,
+asserts the ISSUE acceptance criteria, and records QPS plus latency
+percentiles to ``BENCH_serving_throughput.json`` at the repo root (the
+CI ``serving-smoke`` job uploads it as an artifact; EXPERIMENTS.md
+documents the schema).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.serving_throughput import (
+    render_serving_throughput,
+    render_serving_timings,
+    run_serving_throughput,
+    serving_throughput_payload,
+)
+
+from .conftest import run_once
+
+#: Override the payload destination (CI writes into the workspace root).
+_OUT_ENV = "BENCH_SERVING_OUT"
+
+
+def _payload_path() -> Path:
+    override = os.environ.get(_OUT_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_serving_throughput.json"
+
+
+def test_bench_serving_throughput(benchmark, config):
+    result = run_once(benchmark, run_serving_throughput, config)
+
+    # Nothing lost, nothing dropped: the ladder uses the block policy.
+    for level_result in result.levels:
+        assert level_result.completed == result.requests
+        assert level_result.dropped == 0
+        assert level_result.qps > 0.0
+        assert level_result.latency_p50 <= level_result.latency_p95
+        assert level_result.latency_p95 <= level_result.latency_p99
+
+    # Acceptance: at concurrency 8 the plan cache serves > 90% of the
+    # repeated-class workload and throughput beats the serial baseline.
+    pool8 = result.level("pool-8")
+    assert pool8.plan_cache_hit_rate > 0.9
+    assert pool8.qps > result.baseline_qps
+
+    # The pooled win is the work the cache removes: the serial level
+    # probes per optimization, the pooled levels once per site.
+    serial = result.level("serial")
+    assert pool8.probes_executed < serial.probes_executed
+
+    # Identical universes level to level: every level executed the same
+    # join-site decisions (states pinned by the warm-up + probe TTL).
+    assert pool8.join_sites == result.level("pool-1").join_sites
+
+    payload = serving_throughput_payload(result)
+    path = _payload_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(render_serving_throughput(result))
+    print(render_serving_timings(result))
+    print(f"payload -> {path}")

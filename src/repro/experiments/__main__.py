@@ -33,6 +33,7 @@ table and the metrics registry at the end.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -57,6 +58,12 @@ from .runner import enumerate_class_tasks, run_experiments
 from .sample_size_ablation import (
     render_sample_size_ablation,
     run_sample_size_ablation,
+)
+from .serving_throughput import (
+    render_serving_throughput,
+    render_serving_timings,
+    run_serving_throughput,
+    serving_throughput_payload,
 )
 from .states_ablation import render_states_ablation, run_states_ablation
 from .table4 import render_table4, run_table4
@@ -168,6 +175,21 @@ def _bench_drift_detection(config) -> None:
     print(render_drift_detection(run_drift_detection(config)))
 
 
+#: The most recent serving-throughput result (for ``--bench-out``).
+LAST_SERVING_RESULT = None
+
+
+def _bench_serving_throughput(config) -> None:
+    global LAST_SERVING_RESULT
+    _banner("Serving: concurrent front end throughput vs serial baseline")
+    result = run_serving_throughput(config)
+    LAST_SERVING_RESULT = result
+    # The table is scheduling-independent; the wall-clock side (QPS,
+    # latency percentiles) varies run to run and goes to stderr.
+    print(render_serving_throughput(result))
+    _note(render_serving_timings(result))
+
+
 #: Bench registry, in print order.  Names are the ``--only`` vocabulary.
 BENCHES: tuple[tuple[str, object], ...] = (
     ("figure1", _bench_figure1),
@@ -182,6 +204,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("probe_cache", _bench_probe_cache),
     ("sample_size_ablation", _bench_sample_size),
     ("drift_detection", _bench_drift_detection),
+    ("serving_throughput", _bench_serving_throughput),
 )
 
 
@@ -253,6 +276,15 @@ def main(argv: list[str] | None = None) -> int:
         help="write every raised DriftEvent as JSONL at exit",
     )
     parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the serving-throughput JSON payload (QPS + latency "
+            "percentiles, BENCH_serving_throughput.json schema) at exit"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -270,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         ("--trace-out", args.trace_out),
         ("--snapshot-out", args.snapshot_out),
         ("--drift-out", args.drift_out),
+        ("--bench-out", args.bench_out),
     ):
         if not path:
             continue
@@ -324,6 +357,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.drift_out:
             count = obs.write_drift_jsonl(obs.get_tracker(), args.drift_out)
             _note(f"wrote {count} drift events to {args.drift_out}")
+        if args.bench_out:
+            if LAST_SERVING_RESULT is None:
+                _note(
+                    "--bench-out: serving_throughput did not run; "
+                    "writing nothing"
+                )
+            else:
+                with open(args.bench_out, "w") as handle:
+                    json.dump(
+                        serving_throughput_payload(LAST_SERVING_RESULT),
+                        handle,
+                        indent=2,
+                    )
+                _note(f"wrote serving bench payload to {args.bench_out}")
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

@@ -7,10 +7,20 @@ This service centralizes that serving-side concern:
 
 * **cache** — one probing-cost reading per site, keyed on the site's
   *simulated* time with a configurable TTL.  ``ttl=0`` disables caching
-  entirely, reproducing the always-fresh-probe behavior byte for byte;
+  entirely, reproducing the always-fresh-probe behavior byte for byte.
+  TTL semantics are a **closed interval**: a reading whose age satisfies
+  ``0 <= age <= ttl`` is a hit — a probe exactly at ``age == ttl`` is
+  still served from cache (tests pin this boundary);
 * **coalescing** — callers fetch a site's reading once per optimization
   and share it across candidate plans, so one ``choose()`` executes at
-  most one probing query per site;
+  most one probing query per site.  *Across* requests, a per-site
+  single-flight lock extends the same guarantee to concurrent
+  optimizations: when many pool workers need the same site's reading
+  within one TTL window, exactly one executes the probe and the rest
+  wait and share it (``mdbs.probing.coalesced`` counts the sharers).
+  Because only the executing acquisition feeds the accuracy tracker,
+  a shared probe lands in the tracker's probe window exactly once — no
+  double-counted samples however many requests it served;
 * **graceful degradation** — when a probe cannot be executed the
   service falls back, in order: observed probe → monitor-estimated
   probe (paper eq. (2)) → last-known reading → *no reading*
@@ -21,6 +31,7 @@ This service centralizes that serving-side concern:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .. import obs
@@ -45,7 +56,14 @@ class ProbeReading:
 
 
 class ProbingService:
-    """Per-site probing costs with a simulated-time TTL cache."""
+    """Per-site probing costs with a simulated-time TTL cache.
+
+    *locks* optionally shares a per-site lock table with the owning
+    server: the same lock then serializes a site's probe execution with
+    plan execution at that site, keeping the simulated clock and the
+    engine single-writer per site.  When omitted the service keeps a
+    private table (single-flight behavior is identical either way).
+    """
 
     def __init__(
         self,
@@ -53,6 +71,7 @@ class ProbingService:
         ttl: float = 0.0,
         prefer_estimated: bool = False,
         tracker=None,
+        locks: dict[str, threading.RLock] | None = None,
     ) -> None:
         if ttl < 0:
             raise ValueError("ttl must be >= 0 (0 disables the cache)")
@@ -64,13 +83,22 @@ class ProbingService:
         #: Optional :class:`~repro.obs.quality.AccuracyTracker` fed every
         #: executed reading, so drift rules can watch the probing-cost
         #: distribution against the models' partitioned state ranges.
+        #: Cache hits and coalesced sharers do NOT re-feed the tracker:
+        #: one executed probe = one tracker sample, idempotent however
+        #: many concurrent requests share the reading.
         self.tracker = tracker
         self._cache: dict[str, ProbeReading] = {}
+        #: Per-site single-flight locks (possibly shared with the server).
+        self._locks = locks if locks is not None else {}
         #: Probes actually executed (observed or estimated), per site —
         #: local bookkeeping for experiments; obs counters carry the
         #: global view.
         self.probes_executed: dict[str, int] = {}
         self.cache_hits = 0
+        #: Cache hits served to callers that blocked on the site lock
+        #: while another request refreshed the reading — cross-request
+        #: probe sharing at work.
+        self.coalesced = 0
 
     # -- the serving API -------------------------------------------------
 
@@ -79,27 +107,44 @@ class ProbingService:
         return self.probe(site, prefer_estimated).cost
 
     def probe(self, site: str, prefer_estimated: bool | None = None) -> ProbeReading:
-        """Current :class:`ProbeReading` for *site*, cached within the TTL."""
+        """Current :class:`ProbeReading` for *site*, cached within the TTL.
+
+        A cached reading is served while ``0 <= now - at_time <= ttl``
+        (closed interval: ``age == ttl`` is a hit).  Concurrent callers
+        single-flight behind a per-site lock, so at most one probing
+        query per site is in flight at any moment.
+        """
         try:
             agent = self.agents[site]
         except KeyError:
             raise KeyError(f"no agent registered for site {site!r}") from None
-        now = agent.database.environment.now
-        cached = self._cache.get(site)
-        if (
-            cached is not None
-            and self.ttl > 0
-            and 0.0 <= now - cached.at_time <= self.ttl
-        ):
+        # Fast path: a fresh reading needs no lock (dict reads are atomic
+        # under the GIL, and readings are immutable).
+        before = self._cache.get(site)
+        reading = self._fresh(before, agent.database.environment.now)
+        if reading is not None:
             self.cache_hits += 1
             obs.inc("mdbs.probing.cache_hits")
-            return cached
-        obs.inc("mdbs.probing.cache_misses")
-        reading = self._acquire(agent, now, prefer_estimated)
-        if reading.cost is not None:
-            self._cache[site] = reading
-        obs.set_gauge("mdbs.probing.cache_size", len(self._cache))
-        return reading
+            return reading
+        with self._site_lock(site):
+            now = agent.database.environment.now
+            cached = self._cache.get(site)
+            reading = self._fresh(cached, now)
+            if reading is not None:
+                # Refreshed while we waited for the lock: this caller
+                # shares the probe another request just executed.
+                self.cache_hits += 1
+                obs.inc("mdbs.probing.cache_hits")
+                if cached is not before:
+                    self.coalesced += 1
+                    obs.inc("mdbs.probing.coalesced")
+                return reading
+            obs.inc("mdbs.probing.cache_misses")
+            reading = self._acquire(agent, now, prefer_estimated)
+            if reading.cost is not None:
+                self._cache[site] = reading
+            obs.set_gauge("mdbs.probing.cache_size", len(self._cache))
+            return reading
 
     def invalidate(self, site: str | None = None) -> None:
         """Drop cached readings (one site, or all of them)."""
@@ -110,6 +155,21 @@ class ProbingService:
         obs.set_gauge("mdbs.probing.cache_size", len(self._cache))
 
     # -- acquisition + degradation chain ---------------------------------
+
+    def _fresh(self, cached: ProbeReading | None, now: float) -> ProbeReading | None:
+        """*cached* if it is servable at simulated time *now*, else None."""
+        if (
+            cached is not None
+            and self.ttl > 0
+            and 0.0 <= now - cached.at_time <= self.ttl
+        ):
+            return cached
+        return None
+
+    def _site_lock(self, site: str) -> threading.RLock:
+        # dict.setdefault is atomic under the GIL, so concurrent first
+        # probes of a site agree on one lock without a meta-lock.
+        return self._locks.setdefault(site, threading.RLock())
 
     def _acquire(
         self, agent: MDBSAgent, now: float, prefer_estimated: bool | None

@@ -12,10 +12,13 @@ use so call sites never need registration boilerplate:
   memory stays constant no matter how many values are recorded.
 
 All metrics are individually lock-protected, safe for concurrent
-recording.  Unlike the tracer (no-op by default), the global registry
-is always live: recording is a dict lookup plus a locked add — cheap
-enough for per-query hot paths, and it keeps always-useful totals such
-as cache hit rates available without opting in.
+recording.  Lookup of an *existing* metric is lock-free (a plain dict
+read, atomic under the GIL; metrics are never replaced once created),
+so the hot path is one unlocked ``dict.get`` plus one locked add —
+cheap enough for per-query serving paths with many worker threads, and
+it keeps always-useful totals such as cache hit rates available without
+opting in.  The concurrency stress test in ``tests/obs`` pins the
+no-lost-increments guarantee.
 """
 
 from __future__ import annotations
@@ -199,6 +202,14 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def _get_or_create(self, name: str, kind, *args):
+        # Lock-free fast path: once a metric exists it is never replaced,
+        # and ``dict.get`` is atomic under the GIL, so the common case
+        # (every recording after the first) skips the registry lock
+        # entirely.  Per-metric locks still guarantee no lost updates —
+        # the concurrency stress test in tests/obs pins both properties.
+        metric = self._metrics.get(name)
+        if type(metric) is kind:
+            return metric
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

@@ -1,0 +1,33 @@
+"""repro.serving — the concurrent serving front end of the MDBS.
+
+Puts a worker pool, admission control, a model-version-aware plan
+cache, and cross-request probe sharing in front of the synchronous
+:class:`~repro.mdbs.server.MDBSServer`:
+
+    requests → admission (bounded queue, block/reject, deadlines)
+             → worker pool
+             → plan cache (keyed on query + contention states,
+                           invalidated on registry events)
+             → global optimizer (shared, TTL-cached, single-flight
+                                 probing through the ProbingService)
+             → per-site-locked execution on the MDBS server
+
+See DESIGN.md ("Serving") for the architecture diagram and
+``benchmarks/test_bench_serving_throughput.py`` for the recorded
+QPS / latency baseline (``BENCH_serving_throughput.json``).
+"""
+
+from .config import ADMISSION_POLICIES, ServingConfig
+from .frontend import ServingFrontEnd, ServingStats, ServingTicket, TICKET_STATUSES
+from .plan_cache import PlanCache, query_key
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "PlanCache",
+    "ServingConfig",
+    "ServingFrontEnd",
+    "ServingStats",
+    "ServingTicket",
+    "TICKET_STATUSES",
+    "query_key",
+]

@@ -1,0 +1,94 @@
+"""Serving-layer test fixtures: a two-site MDBS plus a query mix.
+
+The server fixture is session-scoped (model derivation is the slow
+part); the autouse ``_hermetic_serving`` fixture snapshots both sites'
+databases and rewinds them after every test, so executions in one test
+never leak simulated time or engine state into the next.
+"""
+
+import pytest
+
+from repro.core.builder import CostModelBuilder
+from repro.core.classification import G1, G3
+from repro.engine.predicate import Comparison
+from repro.engine.profiles import DB2_LIKE, ORACLE_LIKE
+from repro.mdbs.agent import MDBSAgent
+from repro.mdbs.gquery import GlobalJoinQuery
+from repro.mdbs.server import MDBSServer
+from repro.workload import make_site
+
+SERVING_TABLES = ["R1", "R2", "R3", "R4"]
+
+
+@pytest.fixture(scope="session")
+def serving_mdbs():
+    """Two dynamic sites with G1 and G3 cost models registered."""
+    oracle = make_site(
+        "oracle_site", profile=ORACLE_LIKE, environment_kind="uniform",
+        scale=0.01, seed=71,
+    )
+    db2 = make_site(
+        "db2_site", profile=DB2_LIKE, environment_kind="uniform",
+        scale=0.01, seed=72,
+    )
+    # A probe TTL far beyond any test's simulated horizon: contention
+    # states stay pinned within a test (each test starts cold — the
+    # hermetic fixture below invalidates all readings).
+    server = MDBSServer(probe_ttl=1e9)
+    sites = {site.name: site for site in (oracle, db2)}
+    for site in sites.values():
+        server.register_agent(MDBSAgent(site.database))
+        builder = CostModelBuilder(site.database)
+        for query_class, count in ((G1, 80), (G3, 100)):
+            queries = site.generator.queries_for(
+                query_class, count, tables=SERVING_TABLES
+            )
+            outcome = builder.build(query_class, queries, algorithm="iupma")
+            server.store_cost_model(site.name, outcome.model)
+    return server, sites
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_serving(serving_mdbs):
+    """Rewind databases and drop probe readings after every test."""
+    server, sites = serving_mdbs
+    snapshot = {name: site.database.save_state() for name, site in sites.items()}
+    yield
+    for name, site in sites.items():
+        site.database.restore_state(snapshot[name])
+    server.probing.invalidate()
+
+
+def query_mix():
+    """Six structurally distinct cross-site joins (a repeated-class mix)."""
+    return [
+        GlobalJoinQuery(
+            "oracle_site", "R1", "db2_site", "R2", "a4", "a4",
+            ("R1.a1", "R2.a2"),
+        ),
+        GlobalJoinQuery(
+            "oracle_site", "R2", "db2_site", "R3", "a4", "a4",
+            ("R2.a1", "R3.a2"),
+            left_predicate=Comparison("a3", "<", 500),
+            right_predicate=Comparison("a7", ">", 25000),
+        ),
+        GlobalJoinQuery(
+            "db2_site", "R1", "oracle_site", "R3", "a4", "a4",
+            ("R1.a2", "R3.a1"),
+            left_predicate=Comparison("a5", "<", 40000),
+        ),
+        GlobalJoinQuery(
+            "oracle_site", "R3", "db2_site", "R4", "a4", "a4",
+            ("R3.a1", "R4.a2"),
+            right_predicate=Comparison("a6", ">", 250),
+        ),
+        GlobalJoinQuery(
+            "db2_site", "R2", "oracle_site", "R4", "a4", "a4",
+            ("R2.a2", "R4.a3"),
+        ),
+        GlobalJoinQuery(
+            "oracle_site", "R4", "db2_site", "R1", "a4", "a4",
+            ("R4.a1", "R1.a3"),
+            left_predicate=Comparison("a2", "<", 800),
+        ),
+    ]

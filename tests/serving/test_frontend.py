@@ -1,0 +1,135 @@
+"""Front-end behavior: determinism guard, concurrency, plan sourcing.
+
+The determinism guard is an ISSUE acceptance criterion: a pool at
+concurrency 1 with the plan cache off must produce byte-identical plan
+choices (and results) to the synchronous ``MDBSServer.execute`` path.
+"""
+
+import pytest
+
+from repro.mdbs.gquery import GlobalJoinQuery
+from repro.serving import ServingConfig, ServingFrontEnd
+
+from .conftest import query_mix
+
+
+def run_sync(server, sites, queries):
+    """The reference: synchronous executes from a snapshotted state."""
+    snapshot = {n: s.database.save_state() for n, s in sites.items()}
+    server.probing.invalidate()
+    outcomes = [server.execute(q) for q in queries]
+    for name, site in sites.items():
+        site.database.restore_state(snapshot[name])
+    server.probing.invalidate()
+    return outcomes
+
+
+class TestDeterminismGuard:
+    def test_pool_of_one_matches_synchronous_server(self, serving_mdbs):
+        """workers=1 + plan_cache=False == plain server.execute, byte for
+        byte: plan text, estimates, result rows, observed timings."""
+        server, sites = serving_mdbs
+        queries = query_mix()
+        reference = run_sync(server, sites, queries)
+
+        config = ServingConfig(workers=1, plan_cache=False)
+        with ServingFrontEnd(server, config) as frontend:
+            tickets = frontend.serve(queries)
+
+        assert [t.status for t in tickets] == ["completed"] * len(queries)
+        for ticket, ref in zip(tickets, reference):
+            assert ticket.execution.plan.describe() == ref.plan.describe()
+            assert ticket.execution.plan.join_site == ref.plan.join_site
+            assert ticket.execution.rows == ref.rows
+            assert ticket.execution.steps == ref.steps
+            assert ticket.plan_source == "optimizer"
+
+    def test_cache_off_config_has_no_cache(self, serving_mdbs):
+        server, _ = serving_mdbs
+        frontend = ServingFrontEnd(server, ServingConfig(plan_cache=False))
+        assert frontend.plan_cache is None
+
+
+class TestConcurrentServing:
+    def test_pool_completes_a_repeated_class_workload(self, serving_mdbs):
+        server, _ = serving_mdbs
+        distinct = query_mix()
+        repeats = distinct * 12  # 72 requests over 6 distinct queries
+        config = ServingConfig(workers=8)
+        with ServingFrontEnd(server, config) as frontend:
+            # One warming pass, then the flood: without it the 8 workers
+            # cold-start-optimize the same queries concurrently before
+            # any put lands (each such race is an honest miss).
+            warm = frontend.serve(distinct)
+            tickets = frontend.serve(repeats)
+            stats = frontend.stats()
+
+        queries = distinct + repeats
+        tickets = warm + tickets
+        assert all(t.ok for t in tickets), [t.error for t in tickets if not t.ok]
+        assert stats.completed == len(queries)
+        assert stats.dropped == 0
+        # Repeats of a query within unchanged contention states must be
+        # served from the plan cache (ISSUE acceptance: > 90%).
+        assert stats.plan_cache_hit_rate > 0.9
+        # A cached plan is the same decision the optimizer would make:
+        # every repeat of a query picks the same join site.
+        by_query = {}
+        for ticket in tickets:
+            key = str(ticket.query)
+            site = ticket.execution.plan.join_site
+            assert by_query.setdefault(key, site) == site
+
+    def test_cache_and_optimizer_sources_are_labelled(self, serving_mdbs):
+        server, _ = serving_mdbs
+        queries = query_mix()
+        config = ServingConfig(workers=1)
+        with ServingFrontEnd(server, config) as frontend:
+            first = frontend.serve(queries)
+            second = frontend.serve(queries)
+        assert [t.plan_source for t in first] == ["optimizer"] * len(queries)
+        assert [t.plan_source for t in second] == ["cache"] * len(queries)
+
+    def test_tickets_expose_real_latency(self, serving_mdbs):
+        server, _ = serving_mdbs
+        with ServingFrontEnd(server, ServingConfig(workers=2)) as frontend:
+            [ticket] = frontend.serve(query_mix()[:1])
+        assert ticket.done and ticket.ok
+        assert ticket.wait_seconds is not None and ticket.wait_seconds >= 0.0
+        assert ticket.latency_seconds is not None
+        assert ticket.latency_seconds >= ticket.wait_seconds
+
+
+class TestLifecycle:
+    def test_submit_requires_start(self, serving_mdbs):
+        server, _ = serving_mdbs
+        frontend = ServingFrontEnd(server, ServingConfig(workers=1))
+        with pytest.raises(RuntimeError):
+            frontend.submit(query_mix()[0])
+
+    def test_submit_after_close_raises(self, serving_mdbs):
+        server, _ = serving_mdbs
+        frontend = ServingFrontEnd(server, ServingConfig(workers=1)).start()
+        frontend.close()
+        with pytest.raises(RuntimeError):
+            frontend.submit(query_mix()[0])
+
+    def test_close_is_idempotent_and_start_after_close_raises(self, serving_mdbs):
+        server, _ = serving_mdbs
+        frontend = ServingFrontEnd(server, ServingConfig(workers=1)).start()
+        frontend.close()
+        frontend.close()
+        with pytest.raises(RuntimeError):
+            frontend.start()
+
+    def test_failed_request_does_not_kill_its_worker(self, serving_mdbs):
+        server, _ = serving_mdbs
+        bad = GlobalJoinQuery("oracle_site", "R1", "db2_site", "NOPE", "a4", "a4")
+        with ServingFrontEnd(server, ServingConfig(workers=1)) as frontend:
+            failed = frontend.serve([bad])[0]
+            ok = frontend.serve(query_mix()[:1])[0]
+            stats = frontend.stats()
+        assert failed.status == "failed"
+        assert isinstance(failed.error, Exception)
+        assert ok.ok
+        assert stats.failed == 1 and stats.completed == 1
