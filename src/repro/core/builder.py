@@ -181,6 +181,22 @@ class CostModelBuilder:
                 sp.set_attribute("selected", list(selection.variables))
         timings["variable_selection"] = time.perf_counter() - phase_started
 
+        # Qualitative provenance: every model conditions on the paper's
+        # contention state; when the site simulates a memory hierarchy,
+        # the observed buffer-hit state is a second qualitative variable
+        # (it reaches the fit through the probing costs — the probe runs
+        # through the same pool — and is recorded per-observation).
+        qualitative = ["contention_state"]
+        hit_states = sorted(
+            {
+                str(o.metadata["buffer_hit_state"])
+                for o in observations
+                if "buffer_hit_state" in o.metadata
+            }
+        )
+        if self.database.buffer_pool is not None or hit_states:
+            qualitative.append("buffer_hit_state")
+
         phase_started = time.perf_counter()
         with obs.span("build.fitting"):
             model = MultiStateCostModel.from_fit(
@@ -190,6 +206,8 @@ class CostModelBuilder:
                 algorithm=algorithm,
                 database=self.database.name,
                 probe=self.probe.describe(),
+                qualitative_variables=qualitative,
+                observed_buffer_hit_states=hit_states,
                 # Training means of the selected variables: a representative
                 # query for diagnostics (e.g. per-state cost curves).
                 variable_means={

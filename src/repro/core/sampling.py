@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..engine.buffer import hit_state_label
 from ..engine.database import LocalDatabase
 from ..engine.query import Query
 from .probing import ProbingQuery
@@ -86,12 +87,25 @@ def collect_observations(
     for query in queries:
         probing_cost = probe.observe()
         result = database.execute(query)
+        extra: dict = {}
+        if database.buffer_pool is not None:
+            # Observed buffer-hit behaviour is a qualitative variable in
+            # its own right: the probing query already ran through the
+            # same pool (absorbing cache state into probing_cost, the
+            # paper's §3.3 mechanism), and the per-query hit rate is
+            # recorded so derived models carry explicit provenance.
+            hit_rate = result.metrics.buffer_hit_rate
+            extra = {
+                "buffer_hit_rate": hit_rate,
+                "buffer_hit_state": hit_state_label(hit_rate),
+            }
         observations.append(
             observation_from_result(
                 result,
                 probing_cost,
                 plan=result.plan,
                 query=str(result.query),
+                **extra,
             )
         )
         database.environment.advance(plan.pause_seconds)

@@ -7,8 +7,16 @@ layer that converts physical work into simulated elapsed time under the
 current environment contention.
 """
 
+from . import vectorize
 from .access import clustered_index_scan, nonclustered_index_scan, seq_scan
 from .btree import BPlusTree
+from .buffer import (
+    BUFFER_HIT_STATES,
+    BufferPool,
+    BufferPoolStats,
+    hit_state_index,
+    hit_state_label,
+)
 from .catalog import LocalCatalog
 from .costing import ElapsedBreakdown, simulate_elapsed
 from .database import LocalDatabase, QueryResult
@@ -21,7 +29,13 @@ from .errors import (
     SchemaError,
 )
 from .index import Index, IndexKind
-from .joins import hash_join, index_nested_loop_join, nested_loop_join, sort_merge_join
+from .joins import (
+    hash_join,
+    index_nested_loop_join,
+    naive_join,
+    nested_loop_join,
+    sort_merge_join,
+)
 from .metrics import AccessInfo, ExecutionMetrics
 from .optimizer import JoinPlan, UnaryPlan, choose_join_plan, choose_unary_plan
 from .pages import PageLayout
@@ -37,6 +51,9 @@ __all__ = [
     "AccessInfo",
     "And",
     "BPlusTree",
+    "BUFFER_HIT_STATES",
+    "BufferPool",
+    "BufferPoolStats",
     "CatalogError",
     "Column",
     "Comparison",
@@ -75,11 +92,15 @@ __all__ = [
     "clustered_index_scan",
     "get_profile",
     "hash_join",
+    "hit_state_index",
+    "hit_state_label",
     "index_nested_loop_join",
+    "naive_join",
     "nested_loop_join",
     "nonclustered_index_scan",
     "parse_query",
     "seq_scan",
     "simulate_elapsed",
     "sort_merge_join",
+    "vectorize",
 ]

@@ -14,7 +14,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import compress
+from operator import itemgetter
 
+import numpy as np
+
+from . import vectorize
+from .buffer import (
+    BufferPool,
+    charge_random_pages,
+    charge_sequential_pages,
+    data_page_of,
+)
 from .errors import ExecutionError
 from .index import Index, IndexKind
 from .metrics import AccessInfo, ExecutionMetrics, sort_comparisons_for
@@ -37,7 +48,15 @@ def _project(table: Table, query: SelectQuery, rows) -> ResultTable:
     out_cols = query.output_columns(table.schema)
     positions = [table.schema.position(c) for c in out_cols]
     tuple_length = table.schema.projected_tuple_length(out_cols)
-    projected = [tuple(r[p] for p in positions) for r in rows]
+    if vectorize.enabled() and rows:
+        # Columnar gather: one C-level itemgetter call per row instead
+        # of an interpreted tuple(genexpr) — same tuples, same order.
+        if len(positions) == 1:
+            projected = [(v,) for v in map(itemgetter(positions[0]), rows)]
+        else:
+            projected = list(map(itemgetter(*positions), rows))
+    else:
+        projected = [tuple(r[p] for p in positions) for r in rows]
     return ResultTable(out_cols, tuple_length, projected)
 
 
@@ -62,18 +81,32 @@ def _finalize(
     return result
 
 
-def seq_scan(table: Table, query: SelectQuery) -> UnaryExecution:
+def _filter_table(
+    table: Table, predicate: Predicate, metrics: ExecutionMetrics
+) -> list:
+    """Predicate over every row, vectorized when possible.
+
+    Charges one predicate evaluation per row either way — the batched
+    path does the same logical work, just without the interpreter loop.
+    """
+    metrics.tuples_evaluated += table.cardinality
+    if vectorize.enabled():
+        mask = predicate.evaluate_batch(table)
+        if mask is not None:
+            return list(compress(table.rows(), mask.tolist()))
+    return [row for row in table if predicate.evaluate(row, table.schema)]
+
+
+def seq_scan(
+    table: Table, query: SelectQuery, pool: BufferPool | None = None
+) -> UnaryExecution:
     """Full sequential scan: read every page, evaluate the full predicate."""
     query.validate(table.schema)
     metrics = ExecutionMetrics()
-    metrics.sequential_page_reads = table.num_pages
+    charge_sequential_pages(metrics, pool, table.name, table.num_pages)
     metrics.tuples_read = table.cardinality
 
-    matching = []
-    for row in table:
-        metrics.tuples_evaluated += 1
-        if query.predicate.evaluate(row, table.schema):
-            matching.append(row)
+    matching = _filter_table(table, query.predicate, metrics)
     result = _finalize(table, query, matching, metrics)
     info = AccessInfo(
         method="seq_scan",
@@ -86,8 +119,33 @@ def seq_scan(table: Table, query: SelectQuery) -> UnaryExecution:
     return UnaryExecution(result, metrics, info)
 
 
+def _filter_row_ids(
+    table: Table, row_ids: list[int], residual: Predicate, metrics: ExecutionMetrics
+) -> list:
+    """Residual predicate over the indexed row ids, vectorized when possible.
+
+    The batched path evaluates the residual over the *whole* table once
+    (columnar views are already materialized) and intersects with the
+    fetched ids — per-row work identical, charged per fetched id.
+    """
+    metrics.tuples_evaluated += len(row_ids)
+    if vectorize.enabled() and row_ids:
+        mask = residual.evaluate_batch(table)
+        if mask is not None:
+            ids = np.asarray(row_ids, dtype=np.intp)
+            keep = ids[mask[ids]]
+            rows = table.rows()
+            return [rows[i] for i in keep]
+    matching = []
+    for rid in row_ids:
+        row = table.row(rid)
+        if residual.evaluate(row, table.schema):
+            matching.append(row)
+    return matching
+
+
 def clustered_index_scan(
-    table: Table, index: Index, query: SelectQuery
+    table: Table, index: Index, query: SelectQuery, pool: BufferPool | None = None
 ) -> UnaryExecution:
     """Range scan through a clustered index.
 
@@ -106,19 +164,34 @@ def clustered_index_scan(
         key_range.low, key_range.high, key_range.low_inclusive, key_range.high_inclusive
     )
     metrics = ExecutionMetrics()
-    metrics.random_page_reads = index.height
-    fraction = len(row_ids) / table.cardinality if table.cardinality else 0.0
-    metrics.sequential_page_reads = table.layout.pages_for_fraction(
-        table.cardinality, table.tuple_length, fraction
-    )
+    if pool is None:
+        charge_random_pages(metrics, None, count=index.height)
+        fraction = len(row_ids) / table.cardinality if table.cardinality else 0.0
+        charge_sequential_pages(
+            metrics,
+            None,
+            table.name,
+            table.layout.pages_for_fraction(
+                table.cardinality, table.tuple_length, fraction
+            ),
+        )
+    else:
+        charge_random_pages(
+            metrics, pool, keys=index.traversal_page_keys(key_range.low)
+        )
+        if row_ids:
+            # Clustered rows are physically contiguous: the qualifying
+            # pages are exactly the run from the first id's page to the
+            # last id's page.
+            rows_per_page = table.layout.rows_per_page(table.tuple_length)
+            first = data_page_of(row_ids[0], rows_per_page)
+            last = data_page_of(row_ids[-1], rows_per_page)
+            charge_sequential_pages(
+                metrics, pool, table.name, last - first + 1, start_page=first
+            )
     metrics.tuples_read = len(row_ids)
 
-    matching = []
-    for rid in row_ids:
-        row = table.row(rid)
-        metrics.tuples_evaluated += 1
-        if residual.evaluate(row, table.schema):
-            matching.append(row)
+    matching = _filter_row_ids(table, row_ids, residual, metrics)
     result = _finalize(table, query, matching, metrics)
     info = AccessInfo(
         method="clustered_index_scan",
@@ -130,13 +203,15 @@ def clustered_index_scan(
 
 
 def nonclustered_index_scan(
-    table: Table, index: Index, query: SelectQuery
+    table: Table, index: Index, query: SelectQuery, pool: BufferPool | None = None
 ) -> UnaryExecution:
     """Index scan through a non-clustered index.
 
     Each qualifying tuple costs (up to) one random page read; runs of
     index-adjacent tuples that share a page — measured by the clustering
-    ratio — amortize their reads.
+    ratio — amortize their reads.  With a buffer pool the amortization is
+    played out concretely: each fetched tuple touches its actual data
+    page, and repeat touches hit the cache.
     """
     query.validate(table.schema)
     if index.kind is not IndexKind.NONCLUSTERED:
@@ -153,20 +228,28 @@ def nonclustered_index_scan(
     )
     metrics = ExecutionMetrics()
     k = len(row_ids)
-    ratio = index.clustering_ratio()
     rows_per_page = table.layout.rows_per_page(table.tuple_length)
-    # Unclustered fraction pays a random read per tuple; clustered runs
-    # amortize over rows_per_page.
-    tuple_fetch_ios = math.ceil(k * (1.0 - ratio) + k * ratio / rows_per_page)
-    metrics.random_page_reads = index.height + tuple_fetch_ios
+    if pool is None:
+        ratio = index.clustering_ratio()
+        # Unclustered fraction pays a random read per tuple; clustered runs
+        # amortize over rows_per_page.
+        tuple_fetch_ios = math.ceil(k * (1.0 - ratio) + k * ratio / rows_per_page)
+        charge_random_pages(metrics, None, count=index.height + tuple_fetch_ios)
+    else:
+        charge_random_pages(
+            metrics, pool, keys=index.traversal_page_keys(key_range.low)
+        )
+        charge_random_pages(
+            metrics,
+            pool,
+            keys=(
+                ("T", table.name, data_page_of(rid, rows_per_page))
+                for rid in row_ids
+            ),
+        )
     metrics.tuples_read = k
 
-    matching = []
-    for rid in row_ids:
-        row = table.row(rid)
-        metrics.tuples_evaluated += 1
-        if residual.evaluate(row, table.schema):
-            matching.append(row)
+    matching = _filter_row_ids(table, row_ids, residual, metrics)
     result = _finalize(table, query, matching, metrics)
     info = AccessInfo(
         method="nonclustered_index_scan",

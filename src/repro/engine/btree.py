@@ -17,12 +17,18 @@ from typing import Any, Iterator, Optional
 
 
 class _Node:
-    """Base node: a sorted list of keys."""
+    """Base node: a sorted list of keys.
 
-    __slots__ = ("keys",)
+    ``node_id`` is assigned by the owning tree in creation order, so it
+    is deterministic across runs and processes given the same insertion
+    sequence — the buffer pool uses it as the node's page identity.
+    """
+
+    __slots__ = ("keys", "node_id")
 
     def __init__(self) -> None:
         self.keys: list[Any] = []
+        self.node_id: int = -1
 
     @property
     def is_leaf(self) -> bool:
@@ -72,10 +78,17 @@ class BPlusTree:
         if order < 3:
             raise ValueError("order must be at least 3")
         self.order = order
-        self._root: _Node = _Leaf()
+        self._next_node_id = 0
+        self._root: _Node = self._register(_Leaf())
         self._height = 1
         self._num_keys = 0
         self._num_entries = 0
+
+    def _register(self, node: _Node) -> _Node:
+        """Assign the next deterministic node id (creation order)."""
+        node.node_id = self._next_node_id
+        self._next_node_id += 1
+        return node
 
     # -- properties --------------------------------------------------------
 
@@ -100,7 +113,7 @@ class BPlusTree:
         split = self._insert(self._root, key, row_id)
         if split is not None:
             sep_key, right = split
-            new_root = _Internal()
+            new_root = self._register(_Internal())
             new_root.keys = [sep_key]
             new_root.children = [self._root, right]
             self._root = new_root
@@ -137,7 +150,7 @@ class BPlusTree:
 
     def _split_leaf(self, leaf: _Leaf):
         mid = len(leaf.keys) // 2
-        right = _Leaf()
+        right = self._register(_Leaf())
         right.keys = leaf.keys[mid:]
         right.values = leaf.values[mid:]
         leaf.keys = leaf.keys[:mid]
@@ -149,7 +162,7 @@ class BPlusTree:
     def _split_internal(self, node: _Internal):
         mid = len(node.keys) // 2
         sep_key = node.keys[mid]
-        right = _Internal()
+        right = self._register(_Internal())
         right.keys = node.keys[mid + 1 :]
         right.children = node.children[mid + 1 :]
         node.keys = node.keys[:mid]
@@ -218,6 +231,23 @@ class BPlusTree:
             node = internal.children[pos]
         leaf: _Leaf = node  # type: ignore[assignment]
         return leaf, bisect.bisect_left(leaf.keys, key)
+
+    def traversal_path(self, key: Any = None) -> list[int]:
+        """Node ids visited root → leaf when descending toward *key*.
+
+        ``key=None`` descends to the leftmost leaf (the entry point of a
+        full-range scan).  The path length always equals :attr:`height`;
+        the buffer pool charges one page per node on it.
+        """
+        path: list[int] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node.node_id)
+            internal: _Internal = node  # type: ignore[assignment]
+            pos = 0 if key is None else bisect.bisect_right(internal.keys, key)
+            node = internal.children[pos]
+        path.append(node.node_id)
+        return path
 
     def _leftmost_leaf(self) -> _Leaf:
         node = self._root

@@ -1,0 +1,287 @@
+"""An LRU buffer pool: the engine's simulated memory hierarchy.
+
+Without a buffer pool every page access costs a full (simulated) I/O, so
+cost behaviour depends only on the query and the contention level.  With
+one, repeated scans, index traversals, and join inner relations hit
+memory on re-access — cost behaviour becomes *workload-history-
+dependent*, which is exactly the kind of qualitative contention factor
+the paper's multi-states method is built to absorb (the probing query
+runs through the same pool, so its sampled cost reflects the cache
+state; see DESIGN.md, "Memory hierarchy & vectorized execution").
+
+Eviction is LRU refined by a *windowed refcount* (in the spirit of
+mongodb-d4's ``fastlrubufferusingwindow``): a sliding window of the most
+recent accesses keeps a per-page reference count, and eviction scans the
+:data:`EVICT_SCAN` least-recently-used candidates for the one with the
+fewest references in the window — a page touched often within the window
+survives even when an unrelated scan has pushed it toward the cold end.
+Ties break toward the least recently used page, so the whole policy is a
+pure function of the access sequence (no clocks, no randomness, no
+``id()``): two pools fed the same sequence always hold the same pages,
+which is what makes parallel experiment runs byte-identical.
+
+Page identity is a plain tuple key:
+
+* ``("T", table_name, page_no)`` — heap/data pages;
+* ``("I", index_name, node_id)`` — B+-tree nodes (node ids are assigned
+  in creation order by the tree, so they too are deterministic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+#: Pages examined from the cold end of the LRU chain at eviction time.
+EVICT_SCAN = 8
+
+#: Default pool capacity in pages (4 MiB at the 8 KiB default page size).
+DEFAULT_CAPACITY_PAGES = 512
+
+#: Default sliding-window length (accesses) for the refcounts.
+DEFAULT_WINDOW = 4096
+
+#: Qualitative buffer-hit states, coldest first.  The thresholds below
+#: map an observed hit rate onto these labels.
+BUFFER_HIT_STATES: tuple[str, ...] = ("cold", "warm", "hot")
+
+#: ``hit_rate < WARM_THRESHOLD`` is cold; ``< HOT_THRESHOLD`` warm.
+WARM_THRESHOLD = 0.35
+HOT_THRESHOLD = 0.70
+
+PageKey = Hashable
+
+
+def hit_state_label(hit_rate: float) -> str:
+    """Map a hit rate in [0, 1] onto the qualitative state labels."""
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be in [0, 1]")
+    if hit_rate < WARM_THRESHOLD:
+        return BUFFER_HIT_STATES[0]
+    if hit_rate < HOT_THRESHOLD:
+        return BUFFER_HIT_STATES[1]
+    return BUFFER_HIT_STATES[2]
+
+
+def hit_state_index(hit_rate: float) -> int:
+    """Ordinal of :func:`hit_state_label` (0 = cold)."""
+    return BUFFER_HIT_STATES.index(hit_state_label(hit_rate))
+
+
+@dataclass
+class BufferPoolStats:
+    """Cumulative counters over the pool's lifetime (or since reset)."""
+
+    logical_reads: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.logical_reads if self.logical_reads else 0.0
+
+
+class BufferPool:
+    """A deterministic LRU page cache with windowed reference counts."""
+
+    def __init__(
+        self,
+        capacity_pages: int = DEFAULT_CAPACITY_PAGES,
+        window: int = DEFAULT_WINDOW,
+        evict_scan: int = EVICT_SCAN,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be at least 1")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if evict_scan < 1:
+            raise ValueError("evict_scan must be at least 1")
+        self.capacity_pages = capacity_pages
+        self.window = window
+        self.evict_scan = evict_scan
+        #: Resident pages in LRU order: first = least recently used.
+        self._pages: OrderedDict[PageKey, None] = OrderedDict()
+        #: Sliding window of the most recent accesses, oldest first.
+        self._recent: deque[PageKey] = deque()
+        #: Reference counts of pages inside the window.
+        self._refcounts: dict[PageKey, int] = {}
+        self.stats = BufferPoolStats()
+
+    # -- core access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def access(self, key: PageKey) -> bool:
+        """Touch one page; returns True on a hit, False on a miss.
+
+        A miss installs the page, evicting (if the pool is full) the
+        candidate among the :attr:`evict_scan` least-recently-used
+        resident pages with the smallest windowed refcount.
+        """
+        self.stats.logical_reads += 1
+        self._note_access(key)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self.capacity_pages:
+            self._evict_one()
+        self._pages[key] = None
+        return False
+
+    def access_many(self, keys: Iterable[PageKey]) -> tuple[int, int]:
+        """Touch *keys* in order; returns ``(hits, misses)``."""
+        hits = misses = 0
+        for key in keys:
+            if self.access(key):
+                hits += 1
+            else:
+                misses += 1
+        return hits, misses
+
+    def _note_access(self, key: PageKey) -> None:
+        self._recent.append(key)
+        self._refcounts[key] = self._refcounts.get(key, 0) + 1
+        if len(self._recent) > self.window:
+            old = self._recent.popleft()
+            remaining = self._refcounts[old] - 1
+            if remaining:
+                self._refcounts[old] = remaining
+            else:
+                del self._refcounts[old]
+
+    def _evict_one(self) -> None:
+        """Drop the coldest of the first *evict_scan* LRU candidates.
+
+        Deterministic: candidates are taken in LRU order, and the scan
+        keeps the *first* minimum, so ties evict the least recently used.
+        """
+        victim: PageKey | None = None
+        victim_refs = -1
+        for i, key in enumerate(self._pages):
+            if i >= self.evict_scan:
+                break
+            refs = self._refcounts.get(key, 0)
+            if victim is None or refs < victim_refs:
+                victim, victim_refs = key, refs
+        assert victim is not None
+        del self._pages[victim]
+        self.stats.evictions += 1
+
+    # -- management -------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every resident page and the access window (stats remain)."""
+        self._pages.clear()
+        self._recent.clear()
+        self._refcounts.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = BufferPoolStats()
+
+    def snapshot(self) -> dict:
+        """Capture resident pages, window, and stats for a later rewind."""
+        return {
+            "pages": list(self._pages),
+            "recent": list(self._recent),
+            "refcounts": dict(self._refcounts),
+            "stats": dataclasses.replace(self.stats),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rewind to a state captured with :meth:`snapshot`."""
+        self._pages = OrderedDict((key, None) for key in state["pages"])
+        self._recent = deque(state["recent"])
+        self._refcounts = dict(state["refcounts"])
+        self.stats = dataclasses.replace(state["stats"])
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def hit_state(self) -> str:
+        """The pool's current qualitative buffer-hit state label."""
+        return hit_state_label(self.hit_rate)
+
+    def resident_keys(self) -> list[PageKey]:
+        """Resident page keys in LRU order (coldest first) — for tests."""
+        return list(self._pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool({len(self._pages)}/{self.capacity_pages} pages, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )
+
+
+def table_page_keys(table_name: str, page_numbers: Iterable[int]):
+    """Page keys for the numbered data pages of *table_name*."""
+    return (("T", table_name, p) for p in page_numbers)
+
+
+def data_page_of(row_id: int, rows_per_page: int) -> int:
+    """The data page holding *row_id* under a dense packing."""
+    return row_id // rows_per_page
+
+
+# ---------------------------------------------------------------------------
+# Metric charging
+#
+# Access methods charge their page work through these two helpers so the
+# pool-off path stays byte-identical to the pre-buffer-pool accounting
+# (a plain count) while the pool-on path plays concrete page keys
+# through the cache and charges I/O only for misses.
+# ---------------------------------------------------------------------------
+
+
+def charge_sequential_pages(
+    metrics,
+    pool: "BufferPool | None",
+    table_name: str,
+    num_pages: int,
+    start_page: int = 0,
+) -> None:
+    """Charge a (partial) sequential sweep of a table's data pages."""
+    metrics.logical_page_reads += num_pages
+    if pool is None:
+        metrics.sequential_page_reads += num_pages
+        return
+    for page in range(start_page, start_page + num_pages):
+        if pool.access(("T", table_name, page)):
+            metrics.buffer_hits += 1
+        else:
+            metrics.sequential_page_reads += 1
+
+
+def charge_random_pages(
+    metrics,
+    pool: "BufferPool | None",
+    keys: Iterable[PageKey] | None = None,
+    count: int = 0,
+) -> None:
+    """Charge random page reads.
+
+    Without a pool, ``count`` pages are charged directly (the classic
+    amortized formulas).  With a pool, the concrete *keys* are played
+    through the cache instead — repeat touches of a resident page become
+    buffer hits, which subsumes the formulas' amortization.
+    """
+    if pool is None:
+        metrics.random_page_reads += count
+        metrics.logical_page_reads += count
+        return
+    assert keys is not None, "pool-backed charging needs concrete page keys"
+    for key in keys:
+        metrics.logical_page_reads += 1
+        if pool.access(key):
+            metrics.buffer_hits += 1
+        else:
+            metrics.random_page_reads += 1

@@ -90,6 +90,13 @@ def simulate_elapsed(
     registry.observe("engine.costing.io_seconds", io_time)
     registry.observe("engine.costing.cpu_seconds", cpu_time)
     registry.set_gauge("engine.costing.last_slowdown", slowdown)
+    if metrics.logical_page_reads:
+        # Per-query hit rate: the fraction of logical page reads the
+        # buffer pool absorbed (0.0 on the pool-less accounting path,
+        # where physical == logical).
+        registry.set_gauge(
+            "engine.costing.last_buffer_hit_rate", metrics.buffer_hit_rate
+        )
     return ElapsedBreakdown(
         init_time=init_time,
         io_time=io_time,

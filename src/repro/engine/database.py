@@ -20,6 +20,7 @@ import numpy as np
 from .. import obs
 from ..env.environment import Environment, static_environment
 from .access import UnaryExecution
+from .buffer import DEFAULT_WINDOW, BufferPool
 from .catalog import LocalCatalog
 from .costing import ElapsedBreakdown, simulate_elapsed
 from .errors import CatalogError
@@ -69,6 +70,7 @@ class LocalDatabase:
         layout: PageLayout | None = None,
         noise_sigma: float = 0.05,
         seed: int = 0,
+        buffer_pages: int | None = None,
     ) -> None:
         if noise_sigma < 0:
             raise ValueError("noise_sigma must be non-negative")
@@ -80,6 +82,14 @@ class LocalDatabase:
         self.noise_sigma = noise_sigma
         self.catalog = LocalCatalog()
         self._rng = np.random.default_rng(seed)
+        #: Optional simulated memory hierarchy.  ``None`` (the default)
+        #: keeps the classic statistical page accounting; a pool makes
+        #: physical I/O depend on workload history (see buffer.py).
+        self.buffer_pool: BufferPool | None = (
+            BufferPool(capacity_pages=buffer_pages, window=DEFAULT_WINDOW)
+            if buffer_pages is not None
+            else None
+        )
 
     # -- DDL / DML ---------------------------------------------------------
 
@@ -181,14 +191,19 @@ class LocalDatabase:
             if isinstance(query, SelectQuery):
                 plan = self.plan(query)
                 assert isinstance(plan, UnaryPlan)
-                execution: UnaryExecution = plan.execute(self.catalog.table(query.table), query)
+                execution: UnaryExecution = plan.execute(
+                    self.catalog.table(query.table), query, self.buffer_pool
+                )
                 infos: tuple[AccessInfo, ...] = (execution.info,)
                 plan_desc = execution.info.method
             else:
                 plan = self.plan(query)
                 assert isinstance(plan, JoinPlan)
                 jexec: JoinExecution = plan.execute(
-                    self.catalog.table(query.left), self.catalog.table(query.right), query
+                    self.catalog.table(query.left),
+                    self.catalog.table(query.right),
+                    query,
+                    self.buffer_pool,
                 )
                 execution = jexec  # type: ignore[assignment]
                 infos = (jexec.left_info, jexec.right_info)
@@ -226,6 +241,11 @@ class LocalDatabase:
         registry.inc("engine.queries")
         registry.inc("engine.pages.sequential", metrics.sequential_page_reads)
         registry.inc("engine.pages.random", metrics.random_page_reads)
+        registry.inc("engine.pages.logical", metrics.logical_page_reads)
+        registry.inc("engine.pages.buffer_hits", metrics.buffer_hits)
+        if self.buffer_pool is not None:
+            registry.set_gauge("engine.buffer.hit_rate", self.buffer_pool.hit_rate)
+            registry.set_gauge("engine.buffer.resident_pages", len(self.buffer_pool))
         registry.inc(
             "engine.cpu_ops",
             metrics.tuples_read
@@ -253,12 +273,17 @@ class LocalDatabase:
         return {
             "time": self.environment.now,
             "rng": self._rng.bit_generator.state,
+            "buffer": (
+                self.buffer_pool.snapshot() if self.buffer_pool is not None else None
+            ),
         }
 
     def restore_state(self, state: dict) -> None:
         """Rewind to a state captured with :meth:`save_state`."""
         self.environment.clock.reset(state["time"])
         self._rng.bit_generator.state = state["rng"]
+        if self.buffer_pool is not None and state.get("buffer") is not None:
+            self.buffer_pool.restore(state["buffer"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

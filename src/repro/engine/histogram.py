@@ -17,6 +17,10 @@ import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
+from . import vectorize
+
 
 @dataclass(frozen=True)
 class EquiDepthHistogram:
@@ -41,6 +45,14 @@ class EquiDepthHistogram:
             raise ValueError("boundaries must be non-decreasing")
         if any(c < 0 for c in self.counts):
             raise ValueError("counts must be non-negative")
+        # Exclusive prefix sums of `counts`, so estimate_le is O(log B)
+        # instead of O(B) per call.  Not a dataclass field (the frozen
+        # eq/repr/hash contract stays on the three logical fields), so it
+        # is installed around the freeze.
+        prefix = [0]
+        for c in self.counts:
+            prefix.append(prefix[-1] + c)
+        object.__setattr__(self, "_rows_before", tuple(prefix))
 
     @property
     def num_buckets(self) -> int:
@@ -48,15 +60,27 @@ class EquiDepthHistogram:
 
     @property
     def total_rows(self) -> int:
-        return sum(self.counts)
+        return self._rows_before[-1]
 
     # -- construction -------------------------------------------------------
 
     @classmethod
     def build(cls, values: Sequence, num_buckets: int = 16) -> "EquiDepthHistogram":
-        """Build from a column's values (numeric)."""
+        """Build from a column's values (numeric).
+
+        Dispatches to the numpy path unless the engine is in scalar
+        mode; both produce identical histograms (same boundaries,
+        counts, and distinct tuples — pure Python floats/ints).
+        """
         if num_buckets < 1:
             raise ValueError("num_buckets must be at least 1")
+        if vectorize.enabled():
+            return cls._build_vectorized(values, num_buckets)
+        return cls._build_scalar(values, num_buckets)
+
+    @classmethod
+    def _build_scalar(cls, values: Sequence, num_buckets: int) -> "EquiDepthHistogram":
+        """Row-at-a-time reference implementation."""
         data = sorted(float(v) for v in values)
         if not data:
             raise ValueError("cannot build a histogram from no values")
@@ -83,6 +107,42 @@ class EquiDepthHistogram:
         boundaries[-1] = data[-1]
         return cls(tuple(boundaries), tuple(counts), tuple(distinct))
 
+    @classmethod
+    def _build_vectorized(
+        cls, values: Sequence, num_buckets: int
+    ) -> "EquiDepthHistogram":
+        """numpy-batched build, byte-identical to :meth:`_build_scalar`.
+
+        The sort and the per-bucket distinct counts dominate the scalar
+        cost; both move to numpy.  The duplicate-run extension becomes a
+        ``searchsorted`` for the end of the run instead of a value-at-a-
+        time walk.
+        """
+        data = np.sort(np.fromiter((float(v) for v in values), dtype=np.float64))
+        if data.size == 0:
+            raise ValueError("cannot build a histogram from no values")
+        n = int(data.size)
+        num_buckets = min(num_buckets, n)
+        boundaries = [float(data[0])]
+        counts: list[int] = []
+        distinct: list[int] = []
+        start = 0
+        for b in range(num_buckets):
+            end = round((b + 1) * n / num_buckets)
+            end = max(end, start + 1)
+            if end < n and data[end] == data[end - 1]:
+                # Jump past the whole duplicate run in one shot.
+                end = int(np.searchsorted(data, data[end - 1], side="right"))
+            bucket = data[start:end]
+            counts.append(int(bucket.size))
+            distinct.append(1 + int(np.count_nonzero(bucket[1:] != bucket[:-1])))
+            boundaries.append(float(bucket[-1] if end >= n else data[end]))
+            start = end
+            if start >= n:
+                break
+        boundaries[-1] = float(data[-1])
+        return cls(tuple(boundaries), tuple(counts), tuple(distinct))
+
     # -- estimation -------------------------------------------------------------
 
     def _bucket_of(self, value: float) -> int:
@@ -105,7 +165,7 @@ class EquiDepthHistogram:
         if value >= self.boundaries[-1]:
             return 1.0
         idx = self._bucket_of(value)
-        rows_before = sum(self.counts[:idx])
+        rows_before = self._rows_before[idx]
         lo = self.boundaries[idx]
         hi = self.boundaries[idx + 1]
         if hi > lo:

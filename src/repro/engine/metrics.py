@@ -23,12 +23,25 @@ def sort_comparisons_for(n: int) -> int:
 
 @dataclass
 class ExecutionMetrics:
-    """Physical work counters accumulated while executing a plan."""
+    """Physical work counters accumulated while executing a plan.
+
+    With a :class:`~repro.engine.buffer.BufferPool` attached to the
+    database, ``sequential_page_reads`` / ``random_page_reads`` count
+    only *physical* reads (buffer misses); ``logical_page_reads`` counts
+    every page touch and ``buffer_hits`` the touches served from memory.
+    Without a pool the logical and physical counts coincide and
+    ``buffer_hits`` stays 0, so all pre-buffer-pool accounting is
+    unchanged.
+    """
 
     #: Pages read sequentially (table scans, clustered range scans).
     sequential_page_reads: int = 0
     #: Pages read at random (index traversals, unclustered tuple fetches).
     random_page_reads: int = 0
+    #: Every page touch, hit or miss.
+    logical_page_reads: int = 0
+    #: Page touches served from the buffer pool (no I/O charged).
+    buffer_hits: int = 0
     #: Tuples fetched from storage.
     tuples_read: int = 0
     #: Tuples on which a predicate was evaluated.
@@ -57,7 +70,15 @@ class ExecutionMetrics:
 
     @property
     def total_page_reads(self) -> int:
+        """Physical page reads (the I/O the costing layer charges)."""
         return self.sequential_page_reads + self.random_page_reads
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of logical page reads served from the buffer pool."""
+        if self.logical_page_reads == 0:
+            return 0.0
+        return self.buffer_hits / self.logical_page_reads
 
     def validate(self) -> None:
         """All counters must be non-negative."""

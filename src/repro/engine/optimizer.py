@@ -37,6 +37,7 @@ from .access import (
     nonclustered_index_scan,
     seq_scan,
 )
+from .buffer import BufferPool
 from .index import Index, IndexKind
 from .joins import (
     JoinExecution,
@@ -64,15 +65,17 @@ class UnaryPlan:
     method: str
     index: Optional[Index] = None
 
-    def execute(self, table: Table, query: SelectQuery) -> UnaryExecution:
+    def execute(
+        self, table: Table, query: SelectQuery, pool: BufferPool | None = None
+    ) -> UnaryExecution:
         if self.method == "seq_scan":
-            return seq_scan(table, query)
+            return seq_scan(table, query, pool)
         if self.method == "clustered_index_scan":
             assert self.index is not None
-            return clustered_index_scan(table, self.index, query)
+            return clustered_index_scan(table, self.index, query, pool)
         if self.method == "nonclustered_index_scan":
             assert self.index is not None
-            return nonclustered_index_scan(table, self.index, query)
+            return nonclustered_index_scan(table, self.index, query, pool)
         raise ValueError(f"unknown unary method {self.method!r}")
 
 
@@ -88,18 +91,24 @@ class JoinPlan:
     inner_index: Optional[Index] = None
     swapped: bool = False
 
-    def execute(self, left: Table, right: Table, query: JoinQuery) -> JoinExecution:
+    def execute(
+        self,
+        left: Table,
+        right: Table,
+        query: JoinQuery,
+        pool: BufferPool | None = None,
+    ) -> JoinExecution:
         if self.swapped:
             left, right, query = _swap(left, right, query)
         if self.method == "hash_join":
-            return hash_join(left, right, query)
+            return hash_join(left, right, query, pool)
         if self.method == "sort_merge_join":
-            return sort_merge_join(left, right, query)
+            return sort_merge_join(left, right, query, pool)
         if self.method == "nested_loop_join":
-            return nested_loop_join(left, right, query)
+            return nested_loop_join(left, right, query, pool)
         if self.method == "index_nested_loop_join":
             assert self.inner_index is not None
-            return index_nested_loop_join(left, right, query, self.inner_index)
+            return index_nested_loop_join(left, right, query, self.inner_index, pool)
         raise ValueError(f"unknown join method {self.method!r}")
 
 

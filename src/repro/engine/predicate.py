@@ -18,11 +18,15 @@ import numbers
 from dataclasses import dataclass
 from typing import Any, Optional
 
+import numpy as np
+
 from .errors import QueryError
 from .schema import TableSchema, TableStatistics
 from .types import Row
 
-# Comparison operators, with their evaluation functions.
+# Comparison operators, with their evaluation functions.  The same table
+# drives both the scalar path (Python operands) and the vectorized path
+# (a numpy array on the left), since numpy overloads the operators.
 _OPS = {
     "=": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
@@ -49,6 +53,18 @@ class Predicate:
 
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         raise NotImplementedError
+
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        """Vectorized evaluation over a :class:`Table`'s columnar views.
+
+        Returns a boolean mask aligned with physical row order, or
+        ``None`` when this predicate (or any subtree) cannot be
+        evaluated in batch — e.g. a comparison whose constant's type
+        does not match the column's numpy dtype.  Callers falling back
+        to row-at-a-time :meth:`evaluate` get identical results; the
+        two paths are pinned together by property tests.
+        """
+        return None
 
     def columns(self) -> set[str]:
         """Names of all columns referenced anywhere in the tree."""
@@ -91,6 +107,34 @@ class Comparison(Predicate):
 
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         return _OPS[self.op](row[schema.position(self.column)], self.value)
+
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        if len(table) == 0:
+            return np.zeros(0, dtype=bool)
+        array = table.column_array(self.column)
+        if not self._batch_compatible(array.dtype.kind, self.value):
+            return None
+        return _OPS[self.op](array, self.value)
+
+    @staticmethod
+    def _batch_compatible(dtype_kind: str, value: Any) -> bool:
+        """Whether numpy comparison semantics match Python's exactly.
+
+        Int columns compared to floats promote to float64, which is only
+        exact below 2**53 — the engine's validated INT values stay far
+        under that, but an out-of-range constant forces the scalar path.
+        """
+        if dtype_kind in "iu":
+            if not isinstance(value, numbers.Real) or isinstance(value, bool):
+                return False
+            if isinstance(value, numbers.Integral):
+                return -(2**53) < int(value) < 2**53
+            return abs(float(value)) < 2.0**53
+        if dtype_kind == "f":
+            return isinstance(value, numbers.Real) and not isinstance(value, bool)
+        if dtype_kind == "U":
+            return isinstance(value, str)
+        return False
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -157,6 +201,15 @@ class And(Predicate):
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         return self.left.evaluate(row, schema) and self.right.evaluate(row, schema)
 
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        left = self.left.evaluate_batch(table)
+        if left is None:
+            return None
+        right = self.right.evaluate_batch(table)
+        if right is None:
+            return None
+        return left & right
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -174,6 +227,15 @@ class Or(Predicate):
 
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         return self.left.evaluate(row, schema) or self.right.evaluate(row, schema)
+
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        left = self.left.evaluate_batch(table)
+        if left is None:
+            return None
+        right = self.right.evaluate_batch(table)
+        if right is None:
+            return None
+        return left | right
 
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
@@ -194,6 +256,12 @@ class Not(Predicate):
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         return not self.operand.evaluate(row, schema)
 
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        mask = self.operand.evaluate_batch(table)
+        if mask is None:
+            return None
+        return ~mask
+
     def columns(self) -> set[str]:
         return self.operand.columns()
 
@@ -209,6 +277,9 @@ class TruePredicate(Predicate):
 
     def evaluate(self, row: Row, schema: TableSchema) -> bool:
         return True
+
+    def evaluate_batch(self, table) -> Optional[np.ndarray]:
+        return np.ones(len(table), dtype=bool)
 
     def columns(self) -> set[str]:
         return set()

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import numbers
 from typing import Any, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from .errors import SchemaError
+from .histogram import EquiDepthHistogram
 from .pages import PageLayout
 from .schema import ColumnStatistics, TableSchema, TableStatistics
 from .types import Row
@@ -24,6 +28,14 @@ class Table:
         self.layout = layout or PageLayout()
         self._rows: list[Row] = []
         self._stats: TableStatistics | None = None
+        #: Columnar (numpy) views of the rows, built lazily for the
+        #: vectorized hot paths and dropped on any mutation.
+        self._column_arrays: dict[str, np.ndarray] | None = None
+        #: Built equi-depth histograms keyed by (column, num_buckets),
+        #: dropped on any mutation — building one re-sorts the column,
+        #: so repeated ``analyze(build_histograms=True)`` calls must not
+        #: pay it twice for unchanged data.
+        self._histograms: dict[tuple[str, int], EquiDepthHistogram] = {}
         #: Name of the column the rows are physically sorted on, if any.
         self.clustered_on: str | None = None
 
@@ -68,11 +80,17 @@ class Table:
 
     # -- mutation -------------------------------------------------------------
 
+    def _invalidate_caches(self) -> None:
+        """Drop every derived view after a mutation."""
+        self._stats = None
+        self._column_arrays = None
+        self._histograms.clear()
+
     def insert(self, row: Sequence[Any]) -> int:
         """Validate and append one row; returns its row id."""
         validated = self.schema.validate_row(row)
         self._rows.append(validated)
-        self._stats = None
+        self._invalidate_caches()
         return len(self._rows) - 1
 
     def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -81,7 +99,7 @@ class Table:
         for row in rows:
             self._rows.append(self.schema.validate_row(row))
             count += 1
-        self._stats = None
+        self._invalidate_caches()
         return count
 
     def cluster_on(self, column_name: str) -> None:
@@ -94,6 +112,7 @@ class Table:
         pos = self.schema.position(column_name)
         self._rows.sort(key=lambda r: r[pos])
         self.clustered_on = column_name
+        self._invalidate_caches()
 
     # -- statistics ---------------------------------------------------------
 
@@ -104,16 +123,37 @@ class Table:
 
         With ``build_histograms=True``, numeric columns additionally get
         equi-depth histograms for sharper selectivity estimation.
+        Histograms come from the per-table cache, so re-analyzing an
+        unchanged table never re-sorts its columns.
         """
         stats = TableStatistics(cardinality=self.cardinality)
         for i, col in enumerate(self.schema.columns):
-            stats.columns[col.name] = ColumnStatistics.from_values(
-                (r[i] for r in self._rows),
-                build_histogram=build_histograms,
-                buckets=histogram_buckets,
-            )
+            col_stats = ColumnStatistics.from_values(r[i] for r in self._rows)
+            if (
+                build_histograms
+                and self._rows
+                and isinstance(col_stats.minimum, numbers.Real)
+                and not isinstance(col_stats.minimum, bool)
+            ):
+                col_stats.histogram = self.histogram_for(col.name, histogram_buckets)
+            stats.columns[col.name] = col_stats
         self._stats = stats
         return stats
+
+    def histogram_for(self, column_name: str, num_buckets: int = 16) -> EquiDepthHistogram:
+        """The column's equi-depth histogram, built once per (column, buckets).
+
+        Cached until the table mutates; building sorts the full column,
+        so every call site shares the same built artifact.
+        """
+        key = (column_name, num_buckets)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = EquiDepthHistogram.build(
+                self.column_values(column_name), num_buckets=num_buckets
+            )
+            self._histograms[key] = hist
+        return hist
 
     @property
     def statistics(self) -> TableStatistics:
@@ -127,6 +167,28 @@ class Table:
         """All values of one column, in physical row order."""
         pos = self.schema.position(column_name)
         return [r[pos] for r in self._rows]
+
+    def column_array(self, column_name: str) -> np.ndarray:
+        """Columnar (numpy) view of one column, cached until mutation.
+
+        INT columns become int64, FLOAT float64, STR fixed-width
+        unicode — all dtypes whose comparison semantics match Python's
+        row-at-a-time comparisons, which is what keeps the vectorized
+        predicate path byte-identical to the scalar reference.
+        """
+        if self._column_arrays is None:
+            self._column_arrays = {}
+        array = self._column_arrays.get(column_name)
+        if array is None:
+            pos = self.schema.position(column_name)
+            try:
+                array = np.array([r[pos] for r in self._rows])
+            except (OverflowError, ValueError):
+                # e.g. integers beyond int64: keep an object array, whose
+                # dtype kind makes the batch paths fall back to scalar.
+                array = np.array([r[pos] for r in self._rows], dtype=object)
+            self._column_arrays[column_name] = array
+        return array
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.name}, {self.cardinality} rows, {self.num_pages} pages)"

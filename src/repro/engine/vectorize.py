@@ -1,0 +1,64 @@
+"""The scalar/vectorized execution switch.
+
+The engine's hot loops — predicate evaluation in scans, join operand
+reduction and matching, histogram construction — exist twice: a
+row-at-a-time pure-Python *scalar* path (the reference implementation)
+and a numpy-batched *vectorized* path over columnar views of
+:class:`~repro.engine.table.Table`.  Both produce byte-identical rows,
+metrics, and statistics; a hypothesis property suite
+(``tests/engine/test_vectorized_props.py``) pins them together.
+
+Vectorized execution is the default.  Disable it globally with
+:func:`set_enabled` (or the ``REPRO_SCALAR_ENGINE=1`` environment
+variable, read once at import), or locally with :func:`force_scalar` —
+the benchmark harness uses the context manager to measure both paths in
+one process.
+
+The flag is intentionally process-global rather than per-database:
+the two paths are semantically identical, so the only reasons to switch
+are benchmarking and debugging, and a single switch keeps every call
+site (including module-level helpers with no database in scope) honest.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+_STATE = threading.local()
+
+#: Import-time default: vectorized unless REPRO_SCALAR_ENGINE is set.
+_DEFAULT = os.environ.get("REPRO_SCALAR_ENGINE", "") not in ("1", "true", "yes")
+
+
+def enabled() -> bool:
+    """Whether the vectorized hot paths are active on this thread."""
+    return getattr(_STATE, "enabled", _DEFAULT)
+
+
+def set_enabled(flag: bool) -> None:
+    """Switch this thread between vectorized (True) and scalar (False)."""
+    _STATE.enabled = bool(flag)
+
+
+@contextmanager
+def force_scalar():
+    """Run the enclosed block on the scalar reference path."""
+    previous = enabled()
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def force_vectorized():
+    """Run the enclosed block on the vectorized path."""
+    previous = enabled()
+    set_enabled(True)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -42,6 +42,12 @@ from . import drift_detection as drift_detection_mod
 from .cache import DiskCache, default_cache_dir
 from .config import full, quick, tiny
 from .drift_detection import render_drift_detection, run_drift_detection
+from .engine_hotpaths import (
+    engine_hotpaths_payload,
+    render_engine_hotpaths,
+    render_engine_timings,
+    run_engine_hotpaths,
+)
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
 from .harness import cache_summary, set_disk_cache
@@ -178,6 +184,19 @@ def _bench_drift_detection(config) -> None:
 #: The most recent serving-throughput result (for ``--bench-out``).
 LAST_SERVING_RESULT = None
 
+#: The most recent engine-hotpaths result (for ``--engine-bench-out``).
+LAST_ENGINE_RESULT = None
+
+
+def _bench_engine_hotpaths(config) -> None:
+    global LAST_ENGINE_RESULT
+    _banner("Engine: scalar vs vectorized hot paths, cold vs warm buffer")
+    result = run_engine_hotpaths(config)
+    LAST_ENGINE_RESULT = result
+    # Sizes and page ledgers are byte-stable; timings go to stderr.
+    print(render_engine_hotpaths(result))
+    _note(render_engine_timings(result))
+
 
 def _bench_serving_throughput(config) -> None:
     global LAST_SERVING_RESULT
@@ -205,6 +224,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("sample_size_ablation", _bench_sample_size),
     ("drift_detection", _bench_drift_detection),
     ("serving_throughput", _bench_serving_throughput),
+    ("engine_hotpaths", _bench_engine_hotpaths),
 )
 
 
@@ -285,6 +305,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--engine-bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the engine-hotpaths JSON payload (scalar vs vectorized "
+            "timings, BENCH_engine_hotpaths.json schema) at exit"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -303,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
         ("--snapshot-out", args.snapshot_out),
         ("--drift-out", args.drift_out),
         ("--bench-out", args.bench_out),
+        ("--engine-bench-out", args.engine_bench_out),
     ):
         if not path:
             continue
@@ -371,6 +401,20 @@ def main(argv: list[str] | None = None) -> int:
                         indent=2,
                     )
                 _note(f"wrote serving bench payload to {args.bench_out}")
+        if args.engine_bench_out:
+            if LAST_ENGINE_RESULT is None:
+                _note(
+                    "--engine-bench-out: engine_hotpaths did not run; "
+                    "writing nothing"
+                )
+            else:
+                with open(args.engine_bench_out, "w") as handle:
+                    json.dump(
+                        engine_hotpaths_payload(LAST_ENGINE_RESULT),
+                        handle,
+                        indent=2,
+                    )
+                _note(f"wrote engine bench payload to {args.engine_bench_out}")
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

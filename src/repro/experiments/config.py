@@ -42,6 +42,10 @@ class ExperimentConfig:
     #: Restrict join sampling to the smaller tables (index into R1..R12);
     #: None means all tables.
     join_tables: tuple[str, ...] | None = ("R1", "R2", "R3", "R4", "R5", "R6")
+    #: Buffer-pool capacity in pages for every site built by the harness;
+    #: None (the default) runs without the simulated memory hierarchy, so
+    #: existing experiments and their cached results are unchanged.
+    buffer_pages: int | None = None
     #: Pipeline tunables (state determination, selection, sampling pauses).
     builder: BuilderConfig = field(default_factory=BuilderConfig)
 

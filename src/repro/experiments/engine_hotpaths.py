@@ -1,0 +1,316 @@
+"""Raw-speed bench for the engine's hot paths: scalar vs vectorized,
+cold vs warm buffer pool.
+
+The repo's first *microbenchmark* baseline.  Every case runs the same
+operation twice — once forced through the scalar reference path, once
+through the numpy-batched path (:mod:`repro.engine.vectorize`) — over
+identical inputs, asserting the outputs match before any timing is
+trusted.  A second set of cases replays access paths through a
+:class:`~repro.engine.buffer.BufferPool` and reports how physical I/O
+collapses between a cold and a warm cache.
+
+Determinism note: like the serving bench, the rendered table contains
+only scheduling-independent facts (row counts, result cardinalities,
+page ledgers, hit rates).  Wall-clock timings and speedups go to the
+JSON payload (``BENCH_engine_hotpaths.json``) and stderr.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine import vectorize
+from ..engine.access import seq_scan
+from ..engine.buffer import BufferPool
+from ..engine.histogram import EquiDepthHistogram
+from ..engine.joins import hash_join, sort_merge_join
+from ..engine.predicate import And, Comparison
+from ..engine.query import JoinQuery, SelectQuery
+from ..engine.schema import Column, TableSchema
+from ..engine.table import Table
+from ..engine.types import DataType
+from .config import ExperimentConfig
+from .report import format_table
+
+#: Timing repetitions per path; the minimum is reported (classic
+#: best-of-k, robust against scheduler noise).
+REPEATS = 3
+
+#: Histogram buckets for the build microbenchmark.
+HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class HotpathCase:
+    """One scalar-vs-vectorized microbenchmark."""
+
+    name: str
+    rows: int
+    output_cardinality: int
+    scalar_seconds: float
+    vectorized_seconds: float
+    repeats: int = REPEATS
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorized_seconds <= 0.0:
+            return 0.0
+        return self.scalar_seconds / self.vectorized_seconds
+
+
+@dataclass
+class BufferCase:
+    """One cold-vs-warm buffer-pool replay of an access path."""
+
+    name: str
+    logical_reads: int
+    cold_physical_reads: int
+    warm_physical_reads: int
+    warm_hit_rate: float
+    hit_state: str
+
+
+@dataclass
+class EngineHotpathsResult:
+    scan_rows: int
+    join_rows: int
+    cases: list[HotpathCase] = field(default_factory=list)
+    buffer_cases: list[BufferCase] = field(default_factory=list)
+
+    def case(self, name: str) -> HotpathCase:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+    def buffer_case(self, name: str) -> BufferCase:
+        for case in self.buffer_cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+
+def _scan_table(rows: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        TableSchema(
+            "H",
+            [
+                Column("a", DataType.INT),
+                Column("b", DataType.INT),
+                Column("c", DataType.FLOAT),
+            ],
+        )
+    )
+    table.bulk_load(
+        zip(
+            (int(v) for v in rng.integers(0, 10_000, rows)),
+            (int(v) for v in rng.integers(0, 100, rows)),
+            (float(v) for v in rng.random(rows)),
+        )
+    )
+    table.analyze()
+    return table
+
+
+def _join_table(name: str, rows: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        TableSchema(
+            name, [Column("k", DataType.INT), Column("v", DataType.INT)]
+        )
+    )
+    # ~4 matches per key on average keeps the pair count linear in rows.
+    table.bulk_load(
+        zip(
+            (int(v) for v in rng.integers(0, max(1, rows // 2), rows)),
+            (int(v) for v in rng.integers(0, 1_000_000, rows)),
+        )
+    )
+    table.analyze()
+    return table
+
+
+def _time_paths(operation) -> tuple[float, float, object, object]:
+    """Best-of-:data:`REPEATS` seconds for (scalar, vectorized) runs."""
+
+    def best(context) -> tuple[float, object]:
+        seconds, result = float("inf"), None
+        for _ in range(REPEATS):
+            with context():
+                started = time.perf_counter()
+                result = operation()
+                seconds = min(seconds, time.perf_counter() - started)
+        return seconds, result
+
+    scalar_seconds, scalar_result = best(vectorize.force_scalar)
+    vector_seconds, vector_result = best(vectorize.force_vectorized)
+    return scalar_seconds, vector_seconds, scalar_result, vector_result
+
+
+def run_engine_hotpaths(
+    config: ExperimentConfig | None = None,
+    scan_rows: int | None = None,
+    join_rows: int | None = None,
+) -> EngineHotpathsResult:
+    """Run every microbenchmark; sizes scale with the preset unless given."""
+    config = config or ExperimentConfig()
+    if scan_rows is None:
+        scan_rows = max(2_000, int(6_000_000 * config.scale))
+    if join_rows is None:
+        join_rows = max(1_000, int(1_200_000 * config.scale))
+    result = EngineHotpathsResult(scan_rows=scan_rows, join_rows=join_rows)
+
+    # -- seq scan: predicate evaluation over every row -------------------
+    scan_table = _scan_table(scan_rows, seed=config.seed + 11)
+    scan_query = SelectQuery(
+        "H",
+        ("a", "b"),
+        And(Comparison("a", "<", 5_000), Comparison("b", ">=", 10)),
+    )
+    s, v, scalar_out, vector_out = _time_paths(
+        lambda: seq_scan(scan_table, scan_query)
+    )
+    assert vector_out.result.rows == scalar_out.result.rows
+    result.cases.append(
+        HotpathCase("seq_scan", scan_rows, scalar_out.result.cardinality, s, v)
+    )
+
+    # -- joins: operand reduction + equi-key matching --------------------
+    left = _join_table("L", join_rows, seed=config.seed + 21)
+    right = _join_table("R", join_rows, seed=config.seed + 22)
+    join_query = JoinQuery("L", "R", "k", "k", ("L.v", "R.v"))
+    for name, method in (("hash_join", hash_join), ("sort_merge_join", sort_merge_join)):
+        s, v, scalar_out, vector_out = _time_paths(
+            lambda method=method: method(left, right, join_query)
+        )
+        assert vector_out.result.rows == scalar_out.result.rows
+        result.cases.append(
+            HotpathCase(
+                name, 2 * join_rows, scalar_out.result.cardinality, s, v
+            )
+        )
+
+    # -- histogram build: duplicate-run scanning -------------------------
+    values = scan_table.column_values("a")
+    s, v, scalar_out, vector_out = _time_paths(
+        lambda: EquiDepthHistogram.build(values, HISTOGRAM_BUCKETS)
+    )
+    assert vector_out == scalar_out
+    result.cases.append(
+        HotpathCase("histogram_build", scan_rows, scalar_out.num_buckets, s, v)
+    )
+
+    # -- buffer pool: physical I/O cold vs warm --------------------------
+    pool = BufferPool(capacity_pages=max(64, 2 * scan_table.num_pages))
+    cold = seq_scan(scan_table, scan_query, pool)
+    warm = seq_scan(scan_table, scan_query, pool)
+    assert warm.result.rows == cold.result.rows
+    result.buffer_cases.append(
+        BufferCase(
+            "seq_scan",
+            logical_reads=warm.metrics.logical_page_reads,
+            cold_physical_reads=cold.metrics.total_page_reads,
+            warm_physical_reads=warm.metrics.total_page_reads,
+            warm_hit_rate=warm.metrics.buffer_hit_rate,
+            hit_state=pool.hit_state(),
+        )
+    )
+    join_pool = BufferPool(
+        capacity_pages=max(64, 2 * (left.num_pages + right.num_pages))
+    )
+    cold_join = hash_join(left, right, join_query, join_pool)
+    warm_join = hash_join(left, right, join_query, join_pool)
+    result.buffer_cases.append(
+        BufferCase(
+            "hash_join",
+            logical_reads=warm_join.metrics.logical_page_reads,
+            cold_physical_reads=cold_join.metrics.total_page_reads,
+            warm_physical_reads=warm_join.metrics.total_page_reads,
+            warm_hit_rate=warm_join.metrics.buffer_hit_rate,
+            hit_state=join_pool.hit_state(),
+        )
+    )
+    return result
+
+
+def render_engine_hotpaths(result: EngineHotpathsResult) -> str:
+    """Byte-stable tables: input/output sizes and the page ledgers."""
+    case_rows = [
+        (case.name, case.rows, case.output_cardinality) for case in result.cases
+    ]
+    lines = [
+        format_table(
+            ["case", "input rows", "output"],
+            case_rows,
+            title=(
+                "Engine hot paths: scalar and vectorized produce identical "
+                "results on every case"
+            ),
+        ),
+        "",
+        format_table(
+            ["access path", "logical reads", "cold physical", "warm physical",
+             "warm hit rate", "state"],
+            [
+                (
+                    case.name,
+                    case.logical_reads,
+                    case.cold_physical_reads,
+                    case.warm_physical_reads,
+                    case.warm_hit_rate,
+                    case.hit_state,
+                )
+                for case in result.buffer_cases
+            ],
+            title="Buffer pool: physical I/O, cold vs warm",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_engine_timings(result: EngineHotpathsResult) -> str:
+    """The wall-clock side (diagnostics; NOT byte-stable across runs)."""
+    lines = [
+        f"{case.name}: scalar {case.scalar_seconds * 1e3:.1f}ms  "
+        f"vectorized {case.vectorized_seconds * 1e3:.1f}ms  "
+        f"speedup {case.speedup:.2f}x"
+        for case in result.cases
+    ]
+    return "\n".join(lines)
+
+
+def engine_hotpaths_payload(result: EngineHotpathsResult) -> dict:
+    """The ``BENCH_engine_hotpaths.json`` payload (see EXPERIMENTS.md)."""
+    return {
+        "bench": "engine_hotpaths",
+        "schema_version": 1,
+        "scan_rows": result.scan_rows,
+        "join_rows": result.join_rows,
+        "repeats": REPEATS,
+        "cases": [
+            {
+                "name": case.name,
+                "rows": case.rows,
+                "output_cardinality": case.output_cardinality,
+                "scalar_seconds": case.scalar_seconds,
+                "vectorized_seconds": case.vectorized_seconds,
+                "speedup": case.speedup,
+            }
+            for case in result.cases
+        ],
+        "buffer": [
+            {
+                "name": case.name,
+                "logical_reads": case.logical_reads,
+                "cold_physical_reads": case.cold_physical_reads,
+                "warm_physical_reads": case.warm_physical_reads,
+                "warm_hit_rate": case.warm_hit_rate,
+                "hit_state": case.hit_state,
+            }
+            for case in result.buffer_cases
+        ],
+    }

@@ -98,6 +98,7 @@ def _sites_for_profile(
         environment_kind="uniform",
         scale=config.scale,
         seed=seed,
+        buffer_pages=config.buffer_pages,
     )
     static = make_site(
         f"{profile.name}_static",
@@ -105,6 +106,7 @@ def _sites_for_profile(
         environment_kind="static",
         scale=config.scale,
         seed=seed,  # same seed -> identical tables
+        buffer_pages=config.buffer_pages,
     )
     return dynamic, static
 
@@ -148,6 +150,7 @@ def _run_class_experiment(
         environment_kind=environment_kind,
         scale=config.scale,
         seed=seed,
+        buffer_pages=config.buffer_pages,
     )
     static = make_site(
         f"{profile.name}_static",
@@ -155,6 +158,7 @@ def _run_class_experiment(
         environment_kind="static",
         scale=config.scale,
         seed=seed,
+        buffer_pages=config.buffer_pages,
     )
     tables = _tables_for(query_class, config)
 
@@ -288,6 +292,7 @@ def _memory_key(
         config.static_train,
         config.test_count,
         config.join_tables,
+        config.buffer_pages,
     )
 
 
@@ -389,6 +394,7 @@ def collect_for_algorithm(
         environment_kind=environment_kind,
         scale=config.scale,
         seed=seed,
+        buffer_pages=config.buffer_pages,
     )
     tables = _tables_for(query_class, config)
     builder = CostModelBuilder(site.database, config=config.builder)

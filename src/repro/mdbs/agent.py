@@ -48,6 +48,24 @@ class MDBSAgent:
     def site(self) -> str:
         return self.database.name
 
+    # -- buffer-pool state (a qualitative variable) ------------------------
+
+    def buffer_hit_rate(self) -> float | None:
+        """The local pool's lifetime hit rate, or None without a pool."""
+        pool = self.database.buffer_pool
+        return pool.hit_rate if pool is not None else None
+
+    def buffer_hit_state(self) -> str | None:
+        """Qualitative cache state (``cold``/``warm``/``hot``), or None.
+
+        Globally observable without breaching local autonomy: it derives
+        from the agent's own executions, not from DBMS internals.  The
+        server keys accuracy windows on it alongside the contention
+        state when the site simulates a memory hierarchy.
+        """
+        pool = self.database.buffer_pool
+        return pool.hit_state() if pool is not None else None
+
     # -- the "ODBC" surface ------------------------------------------------
 
     def execute(self, query: Query | str) -> QueryResult:

@@ -70,6 +70,10 @@ class ModelProvenance:
     #: a drift rule forced the re-derivation, so the registry records
     #: *why* each version exists.
     trigger: str | None = None
+    #: Qualitative variables the model conditions on.  Every multi-states
+    #: model carries the paper's contention state; sites simulating a
+    #: memory hierarchy add the observed ``buffer_hit_state``.
+    qualitative_variables: tuple[str, ...] = ("contention_state",)
 
     @classmethod
     def from_model(
@@ -81,6 +85,9 @@ class ModelProvenance:
     ) -> "ModelProvenance":
         """Provenance recoverable from the model artifact itself."""
         stats = model.validation_stats()
+        qualitative = tuple(
+            model.metadata.get("qualitative_variables", ("contention_state",))
+        )
         return cls(
             derived_at=derived_at,
             algorithm=model.algorithm,
@@ -89,6 +96,7 @@ class ModelProvenance:
             standard_error=float(stats["standard_error"]),
             config_hash=config_hash,
             trigger=trigger,
+            qualitative_variables=qualitative,
         )
 
     def to_dict(self) -> dict:
@@ -100,6 +108,7 @@ class ModelProvenance:
             "standard_error": self.standard_error,
             "config_hash": self.config_hash,
             "trigger": self.trigger,
+            "qualitative_variables": list(self.qualitative_variables),
         }
 
     @classmethod
@@ -112,6 +121,9 @@ class ModelProvenance:
             standard_error=float(payload.get("standard_error", float("nan"))),
             config_hash=payload.get("config_hash"),
             trigger=payload.get("trigger"),
+            qualitative_variables=tuple(
+                payload.get("qualitative_variables", ("contention_state",))
+            ),
         )
 
 

@@ -373,13 +373,21 @@ class MDBSServer:
                 continue
             if estimate.state is None:
                 continue
+            agent = self.agents[estimate.site]
+            state_key: int | tuple = estimate.state
+            hit_state = agent.buffer_hit_state()
+            if hit_state is not None:
+                # Sites simulating a memory hierarchy key their accuracy
+                # windows on the composite (contention, buffer-hit) state,
+                # so drift in either qualitative variable is visible.
+                state_key = (estimate.state, hit_state)
             self.accuracy.record(
                 estimate.site,
                 estimate.class_label,
-                estimate.state,
+                state_key,
                 predicted=estimate.seconds,
                 actual=step.seconds,
-                at_time=self.agents[estimate.site].database.environment.now,
+                at_time=agent.database.environment.now,
             )
         observed = execution.observed_seconds
         if observed > 0.0:

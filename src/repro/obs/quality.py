@@ -74,6 +74,31 @@ def _within_factor(predicted: float, actual: float, factor: float) -> bool:
     return max(predicted / actual, actual / predicted) <= factor
 
 
+#: A window's state key: the paper's contention-state ordinal, or a
+#: ``(contention_state, buffer_hit_state)`` composite when the site also
+#: tracks the qualitative buffer-hit variable.
+StateKey = "int | tuple"
+
+
+def _state_sort_key(state) -> tuple[int, int, str]:
+    """Total order over plain, composite, and aggregate (None) states."""
+    if state is None:
+        return (2, 0, "")
+    if isinstance(state, (tuple, list)):
+        first = int(state[0]) if state else 0
+        return (1, first, "/".join(str(part) for part in state[1:]))
+    return (0, int(state), "")
+
+
+def _state_label(state) -> str:
+    """Render a state key for tables: ``s1``, ``s1/warm``, or ``*``."""
+    if state is None:
+        return "*"
+    if isinstance(state, (tuple, list)):
+        return "s" + "/".join(str(part) for part in state)
+    return f"s{state}"
+
+
 class AccuracySample(NamedTuple):
     """One estimate checked against reality.
 
@@ -255,7 +280,8 @@ class AccuracyTracker:
         self.metric_prefix = metric_prefix
         self.export = export
         self._lock = threading.Lock()
-        self._state_windows: dict[tuple[str, str, int], AccuracyWindow] = {}
+        #: Third key element is a plain or composite state (see record()).
+        self._state_windows: dict[tuple, AccuracyWindow] = {}
         self._class_windows: dict[tuple[str, str], AccuracyWindow] = {}
         self._probes: dict[str, deque[tuple[float, float]]] = {}
         #: Structured drift events raised against this tracker's windows
@@ -268,12 +294,18 @@ class AccuracyTracker:
         self,
         site: str,
         class_label: str,
-        state: int,
+        state,
         predicted: float,
         actual: float,
         at_time: float = 0.0,
     ) -> AccuracySample:
-        """Check one cost estimate against its observed outcome."""
+        """Check one cost estimate against its observed outcome.
+
+        *state* is the contention-state ordinal, or a composite
+        ``(contention_state, buffer_hit_state)`` tuple at sites that
+        track the buffer-hit qualitative variable — any hashable key
+        works; rendering and sorting handle both shapes.
+        """
         # Classify once; both windows share the frozen sample.
         sample = AccuracySample.make(predicted, actual, at_time)
         with self._lock:
@@ -314,15 +346,18 @@ class AccuracyTracker:
 
     # -- inspection -------------------------------------------------------
 
-    def keys(self) -> list[tuple[str, str, int]]:
+    def keys(self) -> list[tuple]:
         with self._lock:
-            return sorted(self._state_windows)
+            return sorted(
+                self._state_windows,
+                key=lambda k: (k[0], k[1], _state_sort_key(k[2])),
+            )
 
     def class_keys(self) -> list[tuple[str, str]]:
         with self._lock:
             return sorted(self._class_windows)
 
-    def stats(self, site: str, class_label: str, state: int | None = None) -> WindowStats:
+    def stats(self, site: str, class_label: str, state=None) -> WindowStats:
         """Window stats for one key; ``state=None`` = the class aggregate."""
         with self._lock:
             if state is None:
@@ -375,7 +410,10 @@ class AccuracyTracker:
     def snapshot(self) -> dict:
         """A JSON-serializable dump of every window's current stats."""
         with self._lock:
-            state_items = sorted(self._state_windows.items())
+            state_items = sorted(
+                self._state_windows.items(),
+                key=lambda item: (item[0][0], item[0][1], _state_sort_key(item[0][2])),
+            )
             class_items = sorted(self._class_windows.items())
             probe_items = sorted(self._probes.items())
             events = list(self.drift_events)
@@ -425,10 +463,10 @@ def accuracy_table(source: AccuracyTracker | dict) -> str:
     rendered = []
     ordered = sorted(
         rows,
-        key=lambda r: (r["site"], r["class"], r["state"] is None, r["state"] or 0),
+        key=lambda r: (r["site"], r["class"], _state_sort_key(r["state"])),
     )
     for row in ordered:
-        state = "*" if row["state"] is None else f"s{row['state']}"
+        state = _state_label(row["state"])
         rendered.append(
             (
                 f"{row['site']}/{row['class']}/{state}",

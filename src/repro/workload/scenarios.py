@@ -61,11 +61,15 @@ def make_site(
     scale: float = 0.05,
     seed: int = 0,
     noise_sigma: float = 0.05,
+    buffer_pages: int | None = None,
 ) -> Site:
     """Assemble a populated site.
 
     ``scale`` shrinks the paper's 3,000–250,000-row tables so that full
     pipelines stay laptop-fast; experiments record the scale used.
+    ``buffer_pages`` enables the simulated buffer pool (sized in pages);
+    sites with a pool expose the buffer-hit state as an extra
+    qualitative variable.
     """
     environment = make_environment(environment_kind, seed=seed)
     database = LocalDatabase(
@@ -74,6 +78,7 @@ def make_site(
         environment=environment,
         noise_sigma=noise_sigma,
         seed=seed,
+        buffer_pages=buffer_pages,
     )
     populate_database(database, workload or paper_workload(scale=scale, seed=seed))
     return Site(

@@ -88,7 +88,7 @@ class TestExecution:
         result = small_database.execute(query)
         t1 = small_database.catalog.table("t1")
         t2 = small_database.catalog.table("t2")
-        assert sorted(result.result.rows) == sorted(naive_join(t1, t2, query).rows)
+        assert sorted(result.result.rows) == sorted(naive_join(t1, t2, query).result.rows)
 
     def test_elapsed_positive_and_breakdown_consistent(self, small_database):
         result = small_database.execute("select a from t1")

@@ -48,26 +48,76 @@ ALL_METHODS = [nested_loop_join, sort_merge_join, hash_join]
 class TestCorrectness:
     @pytest.mark.parametrize("method", ALL_METHODS)
     def test_matches_naive_join(self, method, left, right, query):
-        expected = sorted(naive_join(left, right, query).rows)
+        expected = sorted(naive_join(left, right, query).result.rows)
         got = sorted(method(left, right, query).result.rows)
         assert got == expected
 
     def test_inlj_matches_naive_join(self, left, right, query):
         index = Index("ri", right, "b", IndexKind.NONCLUSTERED)
-        expected = sorted(naive_join(left, right, query).rows)
+        expected = sorted(naive_join(left, right, query).result.rows)
         got = sorted(index_nested_loop_join(left, right, query, index).result.rows)
         assert got == expected
 
     def test_inlj_with_clustered_inner(self, left, right, query):
         right.cluster_on("b")
         index = Index("ri", right, "b", IndexKind.CLUSTERED)
-        expected = sorted(naive_join(left, right, query).rows)
+        expected = sorted(naive_join(left, right, query).result.rows)
         got = sorted(index_nested_loop_join(left, right, query, index).result.rows)
         assert got == expected
 
     def test_empty_result_when_no_matches(self, left, right):
         query = JoinQuery("l", "r", "b", "b", left_predicate=Comparison("a", "<", -1))
         assert hash_join(left, right, query).result.cardinality == 0
+
+
+class TestFiveWayAgreement:
+    def test_all_five_methods_identical_result_sets(self, left, right, query):
+        """Every join method — naive included — yields the same multiset."""
+        right.cluster_on("b")
+        index = Index("ri", right, "b", IndexKind.CLUSTERED)
+        executions = {
+            "naive_join": naive_join(left, right, query),
+            "nested_loop_join": nested_loop_join(left, right, query),
+            "sort_merge_join": sort_merge_join(left, right, query),
+            "hash_join": hash_join(left, right, query),
+            "index_nested_loop_join": index_nested_loop_join(
+                left, right, query, index
+            ),
+        }
+        reference = sorted(executions["naive_join"].result.rows)
+        for name, execution in executions.items():
+            assert sorted(execution.result.rows) == reference, name
+            assert execution.method == name
+            assert execution.result.column_names == ("l.a", "r.c")
+
+    def test_naive_join_uses_shared_page_accounting(self, left, right, query):
+        execution = naive_join(left, right, query)
+        qualifying_left = len([r for r in left if r[0] < 700])
+        expected_pages = left.num_pages + qualifying_left * right.num_pages
+        assert execution.metrics.sequential_page_reads == expected_pages
+        assert execution.metrics.logical_page_reads == expected_pages
+        assert execution.metrics.tuples_output == execution.result.cardinality
+        assert execution.left_info.intermediate_cardinality == qualifying_left
+
+    def test_naive_join_rescans_hit_the_buffer_pool(self, left, right, query):
+        from repro.engine.buffer import BufferPool
+
+        pool = BufferPool(capacity_pages=512)
+        execution = naive_join(left, right, query, pool)
+        baseline = naive_join(left, right, query)
+        # Rescans of the (small) inner relation are all buffer hits, so
+        # physical I/O collapses to one sweep of each operand...
+        assert (
+            execution.metrics.sequential_page_reads
+            == left.num_pages + right.num_pages
+        )
+        assert execution.metrics.buffer_hits > 0
+        # ...while the logical ledger and the rows are unchanged.
+        assert (
+            execution.metrics.logical_page_reads
+            == baseline.metrics.logical_page_reads
+        )
+        assert execution.result.rows == baseline.result.rows
 
 
 class TestWorkAccounting:

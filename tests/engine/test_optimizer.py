@@ -144,6 +144,6 @@ class TestJoinRules:
         plan = choose_join_plan(left, right, [index], [], query)
         assert plan.swapped
         execution = plan.execute(left, right, query)
-        assert sorted(execution.result.rows) == sorted(naive_join(left, right, query).rows)
+        assert sorted(execution.result.rows) == sorted(naive_join(left, right, query).result.rows)
         # Output column order must be the original, un-swapped order.
         assert execution.result.column_names == ("l.a", "r.c")

@@ -92,6 +92,52 @@ class TestPool:
         assert all(t.source == "disk" for t in warm.tasks)
         assert render_table4(run_table4(config)) == serial_table
 
+    def test_buffer_pool_is_deterministic_across_jobs(self, fresh_harness):
+        """With the simulated memory hierarchy on, jobs=2 must reproduce
+        jobs=1 byte for byte — the pool is a pure function of each
+        task's access sequence, never of worker scheduling."""
+        import dataclasses
+        import json
+
+        config = dataclasses.replace(tiny(), buffer_pages=128)
+        tasks = [
+            ExperimentTask("oracle_like", "G1"),
+            ExperimentTask("db2_like", "G1"),
+        ]
+
+        def fingerprints():
+            payloads = []
+            for task in tasks:
+                profile, query_class = task.resolve()
+                result = harness.cached_class_experiment(
+                    profile, query_class, config
+                )
+                payloads.append(
+                    json.dumps(
+                        {
+                            "model": result.multi.model.to_dict(),
+                            "costs": [o.cost for o in result.multi.observations],
+                            "hit_states": [
+                                o.metadata.get("buffer_hit_state")
+                                for o in result.multi.observations
+                            ],
+                        },
+                        sort_keys=True,
+                    )
+                )
+            return payloads
+
+        serial = run_experiments(config, tasks=tasks, jobs=1)
+        assert serial.computed == 2
+        serial_payloads = fingerprints()
+        # The pooled run really exercised the buffer pool.
+        assert any("buffer_hit_state" in p for p in serial_payloads)
+
+        harness.clear_cache()
+        parallel = run_experiments(config, tasks=tasks, jobs=2)
+        assert parallel.computed == 2
+        assert fingerprints() == serial_payloads
+
     def test_serial_runner_reports_memory_hits(self, fresh_harness):
         config = tiny()
         tasks = [ExperimentTask("oracle_like", "G1")]
