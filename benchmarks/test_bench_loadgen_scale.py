@@ -1,0 +1,72 @@
+"""Loadgen scale baseline: the coordinator/worker harness up the ladder.
+
+Runs the worker ladder of :mod:`repro.experiments.loadgen_scale` once
+under pytest-benchmark at the quick preset with the mixed fault plan,
+asserts the ISSUE acceptance criteria (worker-count invariance, closed
+drift loops, zero lost requests), and records the scaling curve to
+``BENCH_loadgen_scale.json`` at the repo root (the CI ``loadgen-smoke``
+job regenerates and uploads it at the tiny preset; EXPERIMENTS.md
+documents the schema).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.loadgen_scale import (
+    loadgen_scale_payload,
+    render_loadgen_scale,
+    render_loadgen_timings,
+    run_loadgen_scale,
+)
+
+from .conftest import run_once
+
+#: Override the payload destination (CI writes into the workspace root).
+_OUT_ENV = "BENCH_LOADGEN_OUT"
+
+
+def _payload_path() -> Path:
+    override = os.environ.get(_OUT_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_loadgen_scale.json"
+
+
+def test_bench_loadgen_scale(benchmark, config):
+    result = run_once(benchmark, run_loadgen_scale, config)
+
+    # Shards are the determinism unit: every rung of the worker ladder
+    # served the same shard list, so the merged aggregates must be
+    # byte-identical — `--workers` changes concurrency, never results.
+    assert len(result.reports) >= 2
+    assert result.deterministic
+
+    aggregate = result.aggregate()
+    assert aggregate["failed"] == 0
+    assert aggregate["completed"] == aggregate["requests"]
+    assert aggregate["requests"] > 0
+
+    # The mixed plan disturbs shard 0 (outage) and shard 1 (slowdown);
+    # every disturbed shard's drift loop must have closed: detected by
+    # the accuracy windows, model re-derived, accuracy back in the good
+    # band after the fault cleared.
+    loops = aggregate["drift"]["loops"]
+    assert "0" in loops, "outage shard never registered a disturbance"
+    for shard, loop in sorted(loops.items()):
+        assert loop["detect_round"] is not None, f"shard {shard}: undetected"
+        assert loop["recover_round"] is not None, f"shard {shard}: no recovery"
+        assert loop["detect_latency_rounds"] <= 4, f"shard {shard}: slow detect"
+    assert aggregate["drift"]["published"] > 0
+
+    # Wall-clock side: every rung moved requests.
+    for report in result.reports:
+        assert report.wall_stats()["qps"] > 0.0
+
+    payload = loadgen_scale_payload(result)
+    path = _payload_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(render_loadgen_scale(result))
+    print(render_loadgen_timings(result))
+    print(f"payload -> {path}")

@@ -38,6 +38,7 @@ import sys
 import time
 
 from .. import obs
+from ..loadgen import FAULT_PLANS
 from . import drift_detection as drift_detection_mod
 from .cache import DiskCache, default_cache_dir
 from .config import full, quick, tiny
@@ -51,6 +52,12 @@ from .engine_hotpaths import (
 from .figure1 import FIGURE1_SQL, run_figure1
 from .figures4_9 import FIGURE_LAYOUT, render_figure, run_figure, tracking_error
 from .harness import cache_summary, set_disk_cache
+from .loadgen_scale import (
+    loadgen_scale_payload,
+    render_loadgen_scale,
+    render_loadgen_timings,
+    run_loadgen_scale,
+)
 from .model_forms import render_model_forms, run_model_forms
 from .plan_quality import (
     render_plan_quality,
@@ -187,6 +194,9 @@ LAST_SERVING_RESULT = None
 #: The most recent engine-hotpaths result (for ``--engine-bench-out``).
 LAST_ENGINE_RESULT = None
 
+#: The most recent loadgen-scale result (for ``--loadgen-bench-out``).
+LAST_LOADGEN_RESULT = None
+
 
 def _bench_engine_hotpaths(config) -> None:
     global LAST_ENGINE_RESULT
@@ -196,6 +206,24 @@ def _bench_engine_hotpaths(config) -> None:
     # Sizes and page ledgers are byte-stable; timings go to stderr.
     print(render_engine_hotpaths(result))
     _note(render_engine_timings(result))
+
+
+#: ``--workers`` / ``--fault-plan`` for the loadgen bench (set by main).
+_LOADGEN_OPTIONS = {"workers": None, "fault_plan": "mixed"}
+
+
+def _bench_loadgen_scale(config) -> None:
+    global LAST_LOADGEN_RESULT
+    _banner("Loadgen: coordinator/worker scale ladder with fault injection")
+    result = run_loadgen_scale(
+        config,
+        workers=_LOADGEN_OPTIONS["workers"],
+        fault_plan=_LOADGEN_OPTIONS["fault_plan"],
+    )
+    LAST_LOADGEN_RESULT = result
+    # The aggregate is worker-count invariant; QPS/wall latency are not.
+    print(render_loadgen_scale(result))
+    _note(render_loadgen_timings(result))
 
 
 def _bench_serving_throughput(config) -> None:
@@ -225,6 +253,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("drift_detection", _bench_drift_detection),
     ("serving_throughput", _bench_serving_throughput),
     ("engine_hotpaths", _bench_engine_hotpaths),
+    ("loadgen_scale", _bench_loadgen_scale),
 )
 
 
@@ -314,6 +343,31 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap the loadgen_scale worker ladder at N processes "
+            "(default: the full 1/2/4/8 ladder)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        choices=list(FAULT_PLANS),
+        default="mixed",
+        help="scripted fault schedule for loadgen_scale (default mixed)",
+    )
+    parser.add_argument(
+        "--loadgen-bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the loadgen-scale JSON payload (worker ladder QPS + "
+            "drift loops, BENCH_loadgen_scale.json schema) at exit"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -323,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--full contradicts --preset " + args.preset)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    _LOADGEN_OPTIONS["workers"] = args.workers
+    _LOADGEN_OPTIONS["fault_plan"] = args.fault_plan
     preset = "full" if args.full else (args.preset or "quick")
     make_config = _PRESETS[preset]
     config = make_config(args.seed) if args.seed is not None else make_config()
@@ -333,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         ("--drift-out", args.drift_out),
         ("--bench-out", args.bench_out),
         ("--engine-bench-out", args.engine_bench_out),
+        ("--loadgen-bench-out", args.loadgen_bench_out),
     ):
         if not path:
             continue
@@ -415,6 +474,22 @@ def main(argv: list[str] | None = None) -> int:
                         indent=2,
                     )
                 _note(f"wrote engine bench payload to {args.engine_bench_out}")
+        if args.loadgen_bench_out:
+            if LAST_LOADGEN_RESULT is None:
+                _note(
+                    "--loadgen-bench-out: loadgen_scale did not run; "
+                    "writing nothing"
+                )
+            else:
+                with open(args.loadgen_bench_out, "w") as handle:
+                    json.dump(
+                        loadgen_scale_payload(LAST_LOADGEN_RESULT),
+                        handle,
+                        indent=2,
+                    )
+                _note(
+                    f"wrote loadgen bench payload to {args.loadgen_bench_out}"
+                )
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

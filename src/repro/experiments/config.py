@@ -46,6 +46,12 @@ class ExperimentConfig:
     #: None (the default) runs without the simulated memory hierarchy, so
     #: existing experiments and their cached results are unchanged.
     buffer_pages: int | None = None
+    #: Load-generation fleet shape (:mod:`repro.loadgen`): shards are the
+    #: unit of determinism — ``--workers`` only changes how many run at
+    #: once, never how many exist — and rounds is each shard's served
+    #: timeline length.
+    loadgen_shards: int = 8
+    loadgen_rounds: int = 24
     #: Pipeline tunables (state determination, selection, sampling pauses).
     builder: BuilderConfig = field(default_factory=BuilderConfig)
 
@@ -71,6 +77,8 @@ def tiny(seed: int = 13) -> ExperimentConfig:
         static_train=40,
         test_count=30,
         join_tables=("R1", "R2", "R3", "R4"),
+        loadgen_shards=4,
+        loadgen_rounds=18,
     )
 
 
@@ -89,4 +97,6 @@ def full(seed: int = 7) -> ExperimentConfig:
         static_train=100,
         test_count=100,
         join_tables=("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"),
+        loadgen_shards=16,
+        loadgen_rounds=32,
     )

@@ -87,6 +87,16 @@ def stable_seed(base: int, *parts: str) -> int:
     return base + (zlib.crc32("/".join(parts).encode()) % 1000)
 
 
+def stable_rng(base: int, *parts: str) -> np.random.Generator:
+    """A generator seeded by :func:`stable_seed` — identity, not order.
+
+    The load-generation shards draw their query streams from this, so a
+    shard's randomness is a pure function of (config seed, shard key)
+    no matter which worker process runs it.
+    """
+    return np.random.default_rng(stable_seed(base, *parts))
+
+
 def _sites_for_profile(
     profile: DBMSProfile, config: ExperimentConfig
 ) -> tuple[Site, Site]:

@@ -1,0 +1,212 @@
+"""Loadgen scale bench: the coordinator/worker harness up a worker ladder.
+
+One training pass derives the shared G1/G3 models; the same fixed shard
+list (scenarios + fault plan from the experiment config) then runs at
+every rung of the worker ladder — 1, 2, 4, 8 processes by default.  The
+shard list never changes with ``--workers``, so the merged aggregate is
+the *same work* at every rung; the bench proves it by comparing the
+canonical JSON of every rung's aggregate byte for byte.
+
+What each side of the output carries:
+
+* **stdout** (deterministic, byte-identical across runs and worker
+  counts): request counts, simulated-latency percentiles, drift events
+  by rule, the per-shard detect/recover loop timelines, and the
+  determinism verdict itself;
+* **stderr / JSON payload** (wall clock, varies run to run): per-rung
+  wall seconds, aggregate QPS, and wall-latency percentiles — the
+  scaling curve ``BENCH_loadgen_scale.json`` exists to record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..loadgen import (
+    Coordinator,
+    LoadGenConfig,
+    LoadGenReport,
+    default_loadgen_config,
+)
+from .config import ExperimentConfig
+from .report import format_table
+
+#: Default process-count ladder; ``--workers N`` truncates it at N.
+WORKER_LADDER = (1, 2, 4, 8)
+
+#: Payload schema version (BENCH_loadgen_scale.json).
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LoadGenScaleResult:
+    """The full ladder: one report per rung over identical shards."""
+
+    config: LoadGenConfig
+    fault_plan: str
+    reports: list[LoadGenReport] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        """True iff every rung's aggregate JSON is byte-identical."""
+        payloads = {r.deterministic_payload() for r in self.reports}
+        return len(payloads) == 1
+
+    def aggregate(self) -> dict:
+        """The (worker-count invariant) aggregate, from the first rung."""
+        if not self.reports:
+            raise ValueError("no rungs ran")
+        return self.reports[0].aggregate()
+
+    def rung(self, workers: int) -> LoadGenReport:
+        for report in self.reports:
+            if report.workers == workers:
+                return report
+        raise KeyError(workers)
+
+    @property
+    def baseline_qps(self) -> float:
+        stats = self.rung(1).wall_stats()
+        return stats["qps"]
+
+    def speedup(self, workers: int) -> float:
+        base = self.baseline_qps
+        return self.rung(workers).wall_stats()["qps"] / base if base > 0 else 0.0
+
+
+def ladder_for(workers: int | None, shards: int) -> tuple[int, ...]:
+    """The rungs to run: the default ladder capped at *workers*.
+
+    More processes than shards cannot help (the pool is capped there
+    anyway), so the ladder also stops at the shard count — except rung 1,
+    which always runs as the serial reference.
+    """
+    cap = workers if workers is not None else WORKER_LADDER[-1]
+    if cap < 1:
+        raise ValueError("workers must be >= 1")
+    rungs = [w for w in WORKER_LADDER if w <= min(cap, shards)]
+    if not rungs:
+        rungs = [1]
+    if cap not in rungs and 1 < cap <= shards and cap not in WORKER_LADDER:
+        rungs.append(cap)
+    return tuple(rungs)
+
+
+def run_loadgen_scale(
+    config: ExperimentConfig | None = None,
+    workers: int | None = None,
+    fault_plan: str = "mixed",
+    shards: int | None = None,
+    rounds: int | None = None,
+) -> LoadGenScaleResult:
+    """Train once, then run the identical shard list at every rung."""
+    config = config or ExperimentConfig()
+    lg_config = default_loadgen_config(
+        config, fault_plan=fault_plan, shards=shards, rounds=rounds
+    )
+    coordinator = Coordinator(lg_config)
+    coordinator.train()
+    result = LoadGenScaleResult(config=lg_config, fault_plan=fault_plan)
+    for rung in ladder_for(workers, lg_config.shards):
+        result.reports.append(coordinator.run(workers=rung))
+    return result
+
+
+def render_loadgen_scale(result: LoadGenScaleResult) -> str:
+    """The deterministic side: identical across runs and worker counts."""
+    aggregate = result.aggregate()
+    latency = aggregate["latency_sim_seconds"]
+    drift = aggregate["drift"]
+    lines = [
+        f"shards: {aggregate['shards']}  rounds: {result.config.rounds}  "
+        f"fault plan: {result.fault_plan}",
+        "scenarios: " + ", ".join(aggregate["scenarios"]),
+        f"requests: {aggregate['requests']}  "
+        f"completed: {aggregate['completed']}  "
+        f"failed: {aggregate['failed']}",
+        f"simulated latency: p50 {latency['p50']:.3f}s  "
+        f"p95 {latency['p95']:.3f}s  p99 {latency['p99']:.3f}s",
+        f"drift events: {drift['events']} "
+        + "("
+        + ", ".join(f"{rule}: {n}" for rule, n in drift["by_rule"].items())
+        + ")"
+        if drift["by_rule"]
+        else f"drift events: {drift['events']}",
+        f"rebuilds published: {drift['published']}",
+    ]
+    if drift["loops"]:
+        headers = [
+            "shard",
+            "scenario",
+            "onset",
+            "detect",
+            "cleared",
+            "recovered",
+            "detect latency",
+            "recover latency",
+        ]
+        rows = []
+        for shard, loop in sorted(drift["loops"].items(), key=lambda kv: int(kv[0])):
+            def cell(value):
+                return "-" if value is None else value
+
+            rows.append(
+                (
+                    shard,
+                    result.config.scenario_for(int(shard)),
+                    cell(loop["onset_round"]),
+                    cell(loop["detect_round"]),
+                    cell(loop["cleared_round"]),
+                    cell(loop["recover_round"]),
+                    cell(loop["detect_latency_rounds"]),
+                    cell(loop["recover_latency_rounds"]),
+                )
+            )
+        lines.append(
+            format_table(headers, rows, title="Drift loops (rounds)")
+        )
+    verdict = "byte-identical" if result.deterministic else "DIVERGED"
+    rungs = ", ".join(str(r.workers) for r in result.reports)
+    lines.append(f"aggregates across workers [{rungs}]: {verdict}")
+    return "\n".join(lines)
+
+
+def render_loadgen_timings(result: LoadGenScaleResult) -> str:
+    """The wall-clock side (diagnostics; NOT byte-stable across runs)."""
+    lines = []
+    for report in result.reports:
+        stats = report.wall_stats()
+        wall = stats["latency_wall_seconds"]
+        lines.append(
+            f"workers={report.workers}: {stats['qps']:.1f} qps  "
+            f"p50 {wall['p50'] * 1e3:.2f}ms  p95 {wall['p95'] * 1e3:.2f}ms  "
+            f"p99 {wall['p99'] * 1e3:.2f}ms  wall {stats['wall_seconds']:.2f}s"
+        )
+    top = result.reports[-1].workers
+    if top != 1:
+        lines.append(
+            f"speedup workers={top} vs workers=1: {result.speedup(top):.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def loadgen_scale_payload(result: LoadGenScaleResult) -> dict:
+    """The ``BENCH_loadgen_scale.json`` payload (see EXPERIMENTS.md)."""
+    return {
+        "bench": "loadgen_scale",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "shards": result.config.shards,
+        "rounds": result.config.rounds,
+        "gap_seconds": result.config.gap_seconds,
+        "fault_plan": result.fault_plan,
+        "queries_per_round": result.config.queries_per_round,
+        "deterministic_across_workers": result.deterministic,
+        "aggregate": result.aggregate(),
+        "rungs": [
+            {
+                **report.wall_stats(),
+                "speedup_vs_serial": result.speedup(report.workers),
+            }
+            for report in result.reports
+        ],
+    }

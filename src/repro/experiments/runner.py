@@ -40,6 +40,7 @@ __all__ = [
     "RunnerReport",
     "TaskReport",
     "enumerate_class_tasks",
+    "hermetic_worker_obs",
     "run_experiments",
     "task_seed",
 ]
@@ -169,9 +170,21 @@ class RunnerReport:
 _worker_state: dict = {}
 
 
+def hermetic_worker_obs() -> None:
+    """Give a pool worker fresh observability state.
+
+    Shared by this runner and the load-generation coordinator
+    (:mod:`repro.loadgen`): a forked worker must not keep recording into
+    a copy of the parent's registry/tracker, or cross-process aggregates
+    would silently double-count whatever the parent had accumulated.
+    """
+    obs.set_registry(obs.MetricsRegistry())
+    obs.set_tracker(obs.AccuracyTracker())
+
+
 def _worker_init(config: ExperimentConfig, cache_dir) -> None:
     """Make a pool worker hermetic: fresh registry, fresh memo, own disk cache."""
-    obs.set_registry(obs.MetricsRegistry())
+    hermetic_worker_obs()
     harness.clear_cache()
     if cache_dir is not None:
         from .cache import DiskCache

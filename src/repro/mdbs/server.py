@@ -189,11 +189,25 @@ class MDBSServer:
         query_source: Callable[[int], Sequence[Query]],
         sample_count: int | None = None,
         algorithm: str = "iupma",
+        build_now: bool = True,
     ) -> ModelVersion:
-        """Derive + publish the model for *query_class* and keep it maintained."""
+        """Derive + publish the model for *query_class* and keep it maintained.
+
+        ``build_now=False`` registers the class for future rebuilds
+        without an initial derivation — the load-generation pattern: a
+        worker imports coordinator-trained models through the registry
+        payload and only needs the maintainer wired up so drift events
+        can force re-derivations.  The registry must already hold an
+        active version for the class (e.g. via
+        :meth:`~repro.mdbs.catalog.GlobalCatalog.import_models`).
+        """
         maintainer = self.maintainers.get(site) or self.configure_maintenance(site)
         maintainer.register(
-            query_class, query_source, sample_count=sample_count, algorithm=algorithm
+            query_class,
+            query_source,
+            sample_count=sample_count,
+            algorithm=algorithm,
+            build_now=build_now,
         )
         return self.catalog.registry.active_version(site, query_class.label)
 

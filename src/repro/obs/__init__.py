@@ -74,6 +74,8 @@ from .quality import (
     WindowStats,
     accuracy_table,
     get_tracker,
+    merge_accuracy_snapshots,
+    merge_window_stats,
     set_tracker,
 )
 from .tracing import (
@@ -125,6 +127,8 @@ __all__ = [
     "WindowStats",
     "accuracy_table",
     "get_tracker",
+    "merge_accuracy_snapshots",
+    "merge_window_stats",
     "set_tracker",
     # export
     "span_to_dict",

@@ -45,6 +45,8 @@ __all__ = [
     "WindowStats",
     "accuracy_table",
     "get_tracker",
+    "merge_accuracy_snapshots",
+    "merge_window_stats",
     "set_tracker",
 ]
 
@@ -722,3 +724,99 @@ def _merge_stats(stats: Iterable[WindowStats]) -> WindowStats:
         mean_predicted=sum(s.mean_predicted * s.count for s in items) / n,
         mean_actual=sum(s.mean_actual * s.count for s in items) / n,
     )
+
+
+def merge_window_stats(stats: Iterable[WindowStats]) -> WindowStats:
+    """Sample-weighted merge of several :class:`WindowStats`.
+
+    Exact for every mean-based field; the band percentages are exact too
+    because each window's percentage is re-weighted by its own sample
+    count.  (Windows are *rolling*, so merging two windows that both
+    evicted samples approximates the union — the same caveat any
+    cross-process aggregation of bounded windows carries.)
+    """
+    return _merge_stats(stats)
+
+
+def _stats_from_row(row: Mapping) -> WindowStats:
+    """Rebuild a :class:`WindowStats` from a snapshot row's stat fields."""
+    return WindowStats(
+        count=int(row["n"]),
+        pct_very_good=float(row["very_good_pct"]),
+        pct_good=float(row["good_pct"]),
+        mean_relative_error=float(row["mean_rel_err"]),
+        bias=float(row["bias"]),
+        mean_predicted=float(row["mean_predicted"]),
+        mean_actual=float(row["mean_actual"]),
+    )
+
+
+def _row_state_key(state) -> tuple:
+    """A hashable, order-stable grouping key for a snapshot row's state.
+
+    Snapshot payloads that crossed a JSON boundary render composite
+    states as lists; live snapshots keep tuples — both must group
+    together.
+    """
+    if isinstance(state, (tuple, list)):
+        return (1,) + tuple(str(part) for part in state)
+    if state is None:
+        return (2,)
+    return (0, str(state))
+
+
+def merge_accuracy_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge several :meth:`AccuracyTracker.snapshot` payloads into one.
+
+    The coordinator/worker load harness runs one tracker per worker
+    process; this combines their dumps into a single fleet-wide view
+    with the same shape as a single tracker's snapshot:
+
+    * **rows** — sample-weighted :func:`merge_window_stats` per
+      (site, class, state), sorted like a live snapshot;
+    * **probes** — reading counts summed, min/max widened; ``last`` is
+      dropped (``None``) because "last" is not well defined across
+      processes;
+    * **drift_events** — concatenated in input order (each worker's
+      events are already oldest-first).
+    """
+    grouped: dict[tuple, list] = {}
+    meta: dict[tuple, tuple] = {}
+    probes: dict[str, dict] = {}
+    events: list[dict] = []
+    for snapshot in snapshots:
+        for row in snapshot.get("rows", ()):
+            state = row["state"]
+            if isinstance(state, list):
+                state = tuple(state)
+            key = (row["site"], row["class"], _row_state_key(state))
+            grouped.setdefault(key, []).append(_stats_from_row(row))
+            meta[key] = (row["site"], row["class"], state)
+        for site, reading in snapshot.get("probes", {}).items():
+            merged = probes.setdefault(
+                site, {"n": 0, "last": None, "min": None, "max": None}
+            )
+            merged["n"] += int(reading.get("n", 0))
+            for field_name, pick in (("min", min), ("max", max)):
+                value = reading.get(field_name)
+                if value is None:
+                    continue
+                current = merged[field_name]
+                merged[field_name] = (
+                    value if current is None else pick(current, value)
+                )
+        events.extend(snapshot.get("drift_events", ()))
+    rows = []
+    for key in sorted(
+        grouped, key=lambda k: (k[0], k[1], _state_sort_key(meta[k][2]))
+    ):
+        site, label, state = meta[key]
+        rows.append(
+            {"site": site, "class": label, "state": state}
+            | merge_window_stats(grouped[key]).to_dict()
+        )
+    return {
+        "rows": rows,
+        "probes": {site: probes[site] for site in sorted(probes)},
+        "drift_events": events,
+    }

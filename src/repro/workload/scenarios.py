@@ -26,6 +26,61 @@ from .tablegen import WorkloadSpec, paper_workload, populate_database
 
 ENVIRONMENT_KINDS = ("static", "uniform", "clustered")
 
+#: Named contention scripts the load-generation harness cycles over a
+#: shard fleet (:mod:`repro.loadgen`).  Each is a *scenario*: a recipe
+#: for what one site's contention trace does over a served timeline.
+SCENARIO_KINDS = ("calm", "random_walk", "clustered", "regime_shift")
+
+#: The restrained range models are derived (and calm scenarios served)
+#: under — mirrors the drift-detection experiment's baseline regime.
+SCENARIO_CALM_RANGE = (0.0, 0.45)
+#: Where the ``regime_shift`` scenario pins contention: outside every
+#: calm-derived [Cmin, Cmax] range, so the drift loop must react.
+SCENARIO_SHIFTED_LEVEL = 0.9
+
+
+def scenario_shift_round(total_rounds: int, fraction: float = 1.0 / 3.0) -> int:
+    """The served round at which ``regime_shift`` leaves the calm regime."""
+    return max(1, int(total_rounds * fraction))
+
+
+def install_scenario_trace(
+    load_builder: LoadBuilder,
+    kind: str,
+    round_index: int,
+    total_rounds: int,
+    calm: tuple[float, float] = SCENARIO_CALM_RANGE,
+    shifted_level: float = SCENARIO_SHIFTED_LEVEL,
+) -> bool:
+    """Install the contention trace *kind* prescribes at *round_index*.
+
+    Determinism comes from the load builder's seed: re-installing the
+    same scenario on the same builder reproduces the same trace.  The
+    harness calls this at round 0, at the ``regime_shift`` boundary, and
+    whenever an injected fault clears and the scenario's own trace must
+    come back.  Returns True when the regime-shift disturbance is in
+    effect at this round (the onset signal the drift loop is measured
+    against).
+    """
+    if kind == "calm":
+        load_builder.uniform(*calm)
+        return False
+    if kind == "random_walk":
+        load_builder.random_walk(step=0.08, start=0.35)
+        return False
+    if kind == "clustered":
+        load_builder.clustered()
+        return False
+    if kind == "regime_shift":
+        if round_index >= scenario_shift_round(total_rounds):
+            load_builder.constant(shifted_level)
+            return True
+        load_builder.uniform(*calm)
+        return False
+    raise ValueError(
+        f"unknown scenario kind {kind!r}; pick from {SCENARIO_KINDS}"
+    )
+
 
 @dataclass
 class Site:

@@ -1,0 +1,81 @@
+"""Property tests for the buffer pool's snapshot/restore round-trip.
+
+The engine-hotpaths bench and the hermetic serving fixtures both lean on
+``snapshot()``/``restore()`` rewinding a pool *exactly*: after a rewind,
+replaying any future access sequence must produce the byte-identical
+hit/miss ledger the first playthrough produced — over any capacity,
+window shape, and access pattern, which is what Hypothesis sweeps here.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.buffer import BufferPool
+
+#: A tiny key universe forces evictions and window churn at small sizes.
+keys = st.integers(0, 30)
+sequences = st.lists(keys, max_size=200)
+pools = st.builds(
+    BufferPool,
+    capacity_pages=st.integers(1, 12),
+    window=st.integers(1, 64),
+    evict_scan=st.integers(1, 8),
+)
+
+
+def ledger(pool: BufferPool, sequence) -> list[bool]:
+    return [pool.access(key) for key in sequence]
+
+
+def observable_state(pool: BufferPool) -> tuple:
+    return (
+        pool.resident_keys(),
+        dataclasses.astuple(pool.stats),
+        pool.hit_state(),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(pool=pools, prefix=sequences, suffix=sequences)
+def test_restore_replays_identical_ledger(pool, prefix, suffix):
+    ledger(pool, prefix)
+    saved = pool.snapshot()
+    first = ledger(pool, suffix)
+    after_first = observable_state(pool)
+
+    pool.restore(saved)
+    second = ledger(pool, suffix)
+
+    assert second == first
+    assert observable_state(pool) == after_first
+
+
+@settings(max_examples=60, deadline=None)
+@given(pool=pools, prefix=sequences, garbage=sequences)
+def test_snapshot_is_isolated_from_later_mutation(pool, prefix, garbage):
+    """The saved state is a copy: later accesses must not bleed into it."""
+    ledger(pool, prefix)
+    saved = pool.snapshot()
+    at_save = observable_state(pool)
+
+    ledger(pool, garbage)
+    pool.clear()
+    pool.reset_stats()
+
+    pool.restore(saved)
+    assert observable_state(pool) == at_save
+
+
+@settings(max_examples=60, deadline=None)
+@given(pool=pools, sequence=sequences)
+def test_two_pools_fed_the_same_sequence_agree(pool, sequence):
+    """Determinism: the policy is a pure function of the access order."""
+    twin = BufferPool(
+        capacity_pages=pool.capacity_pages,
+        window=pool.window,
+        evict_scan=pool.evict_scan,
+    )
+    assert ledger(pool, sequence) == ledger(twin, sequence)
+    assert observable_state(pool) == observable_state(twin)

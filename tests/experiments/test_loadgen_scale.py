@@ -1,0 +1,81 @@
+"""The loadgen scale bench: ladder shapes, payload schema, determinism."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.loadgen_scale import (
+    WORKER_LADDER,
+    ladder_for,
+    loadgen_scale_payload,
+    render_loadgen_scale,
+    render_loadgen_timings,
+    run_loadgen_scale,
+)
+
+from ..loadgen.conftest import MICRO
+
+
+class TestLadderFor:
+    def test_default_ladder(self):
+        assert ladder_for(None, shards=16) == WORKER_LADDER
+
+    def test_capped_by_workers(self):
+        assert ladder_for(2, shards=16) == (1, 2)
+
+    def test_capped_by_shards(self):
+        assert ladder_for(None, shards=3) == (1, 2)
+
+    def test_single_worker(self):
+        assert ladder_for(1, shards=16) == (1,)
+
+    def test_off_ladder_cap_appended(self):
+        assert ladder_for(3, shards=16) == (1, 2, 3)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError, match="workers"):
+            ladder_for(0, shards=4)
+
+
+@pytest.fixture(scope="module")
+def scale_result():
+    config = replace(MICRO, loadgen_shards=2, loadgen_rounds=5)
+    return run_loadgen_scale(config, workers=2, fault_plan="outage")
+
+
+@pytest.mark.slow
+class TestRunLoadgenScale:
+    def test_ladder_ran_and_matches(self, scale_result):
+        assert [r.workers for r in scale_result.reports] == [1, 2]
+        assert scale_result.deterministic
+
+    def test_payload_schema(self, scale_result):
+        payload = loadgen_scale_payload(scale_result)
+        assert payload["bench"] == "loadgen_scale"
+        assert payload["schema_version"] == 1
+        assert payload["shards"] == 2
+        assert payload["rounds"] == 5
+        assert payload["fault_plan"] == "outage"
+        assert payload["deterministic_across_workers"] is True
+        aggregate = payload["aggregate"]
+        assert aggregate["requests"] == 2 * 5 * 3
+        assert aggregate["completed"] == aggregate["requests"]
+        assert len(payload["rungs"]) == 2
+        for rung in payload["rungs"]:
+            assert rung["qps"] > 0
+            assert set(rung["latency_wall_seconds"]) == {
+                "count",
+                "p50",
+                "p95",
+                "p99",
+            }
+            assert "speedup_vs_serial" in rung
+
+    def test_render_splits_deterministic_from_wall(self, scale_result):
+        rendered = render_loadgen_scale(scale_result)
+        assert "byte-identical" in rendered
+        assert "fault plan: outage" in rendered
+        assert "qps" not in rendered  # wall-clock facts stay off stdout
+        timings = render_loadgen_timings(scale_result)
+        assert "qps" in timings
+        assert "workers=1" in timings and "workers=2" in timings

@@ -1,0 +1,37 @@
+"""Loadgen test fixtures: a micro experiment config + one training pass.
+
+Model derivation dominates the cost of every loadgen test, and the
+coordinator's design makes the trained payload explicitly shareable
+(train once, import everywhere) — so the suite trains exactly once, at a
+micro scale sized for seconds-long shard timelines.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.loadgen import train_models
+
+#: Micro preset: big enough for the drift loop's accuracy windows to be
+#: meaningful, small enough that one shard round serves in milliseconds.
+MICRO = ExperimentConfig(
+    scale=0.006,
+    seed=13,
+    unary_train=40,
+    join_train=40,
+    static_train=20,
+    test_count=10,
+    join_tables=("R1", "R2", "R3", "R4"),
+    loadgen_shards=3,
+    loadgen_rounds=10,
+)
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> ExperimentConfig:
+    return MICRO
+
+
+@pytest.fixture(scope="session")
+def trained_payload() -> dict:
+    """The coordinator-side training pass, shared by every test."""
+    return train_models(MICRO)

@@ -1,0 +1,161 @@
+"""Units for the fault-injection layer (schedule, plans, injector)."""
+
+import pytest
+
+from repro.loadgen import (
+    FAULT_PLANS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    SiteOutageError,
+    UnavailableProbe,
+    named_fault_plan,
+)
+
+GAP = 600.0
+
+
+class RecordingBuilder:
+    """Stands in for a LoadBuilder: records pinned contention levels."""
+
+    def __init__(self):
+        self.constants = []
+
+    def constant(self, level):
+        self.constants.append(level)
+
+
+class StubAgent:
+    """Just enough of an MDBSAgent for the injector: a probe attribute."""
+
+    def __init__(self):
+        self.probe = object()
+        self.site = "var_site"
+
+
+def make_injector(events):
+    agent = StubAgent()
+    builder = RecordingBuilder()
+    restores = []
+    injector = FaultInjector(
+        tuple(events), agent, builder, lambda: restores.append(True)
+    )
+    return injector, agent, builder, restores
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(0, "meteor", 10.0, 5.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration_seconds"):
+            FaultEvent(0, "outage", 10.0, 0.0)
+
+    def test_ends_at(self):
+        event = FaultEvent(0, "outage", 10.0, 5.0)
+        assert event.ends_at == 15.0
+
+
+class TestFaultSchedule:
+    def test_for_shard_filters_and_sorts(self):
+        late = FaultEvent(1, "outage", 50.0, 5.0)
+        early = FaultEvent(1, "slowdown", 10.0, 5.0)
+        other = FaultEvent(0, "outage", 1.0, 5.0)
+        schedule = FaultSchedule((late, early, other))
+        assert schedule.for_shard(1) == (early, late)
+        assert schedule.for_shard(0) == (other,)
+        assert schedule.for_shard(7) == ()
+        assert len(schedule) == 3
+
+
+class TestNamedFaultPlan:
+    def test_none_is_empty(self):
+        assert len(named_fault_plan("none", 4, 16, GAP)) == 0
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            named_fault_plan("chaos", 4, 16, GAP)
+
+    def test_outage_targets_shard_zero(self):
+        (event,) = named_fault_plan("outage", 4, 16, GAP).events
+        assert event.shard == 0
+        assert event.kind == "outage"
+        assert event.at_seconds > 0
+        assert event.duration_seconds > 0
+
+    def test_mixed_covers_both_kinds(self):
+        plan = named_fault_plan("mixed", 4, 16, GAP)
+        kinds = {e.kind for e in plan.events}
+        assert kinds == {"outage", "slowdown"}
+        assert {e.shard for e in plan.events} == {0, 1}
+
+    def test_mixed_single_shard_degrades_to_outage(self):
+        plan = named_fault_plan("mixed", 1, 16, GAP)
+        assert [e.kind for e in plan.events] == ["outage"]
+
+    def test_plan_vocabulary(self):
+        assert set(FAULT_PLANS) == {"none", "outage", "slowdown", "mixed"}
+
+
+def test_unavailable_probe_raises():
+    with pytest.raises(SiteOutageError, match="var_site"):
+        UnavailableProbe("var_site").observe()
+
+
+class TestFaultInjector:
+    def test_outage_swaps_probe_and_restores(self):
+        event = FaultEvent(0, "outage", 100.0, 50.0, level=0.95)
+        injector, agent, builder, restores = make_injector([event])
+        original = agent.probe
+
+        assert injector.step(50.0) == []
+        assert agent.probe is original
+
+        assert injector.step(120.0) == ["outage:applied"]
+        assert isinstance(agent.probe, UnavailableProbe)
+        assert builder.constants == [0.95]
+        assert injector.active is event
+
+        assert injector.step(200.0) == ["outage:cleared"]
+        assert agent.probe is original
+        assert restores == [True]
+        assert injector.active is None
+        assert [note for _, note in injector.transitions] == [
+            "outage:applied",
+            "outage:cleared",
+        ]
+
+    def test_slowdown_leaves_probe_alone(self):
+        event = FaultEvent(0, "slowdown", 100.0, 50.0, level=0.9)
+        injector, agent, builder, restores = make_injector([event])
+        original = agent.probe
+        injector.step(100.0)
+        assert agent.probe is original
+        assert builder.constants == [0.9]
+        injector.step(150.0)
+        assert agent.probe is original
+        assert restores == [True]
+
+    def test_event_entirely_between_rounds_is_skipped(self):
+        event = FaultEvent(0, "outage", 100.0, 50.0)
+        injector, agent, _, restores = make_injector([event])
+        original = agent.probe
+        # The clock jumps straight past the whole fault window.
+        assert injector.step(500.0) == []
+        assert injector.active is None
+        assert agent.probe is original
+        assert restores == []
+
+    def test_back_to_back_events_replace(self):
+        first = FaultEvent(0, "outage", 100.0, 1000.0)
+        second = FaultEvent(0, "slowdown", 200.0, 1000.0)
+        injector, agent, _, _ = make_injector([first, second])
+        original = agent.probe
+        injector.step(100.0)
+        assert injector.active is first
+        notes = injector.step(250.0)
+        # The overlapping later event clears the earlier one first.
+        assert notes == ["outage:cleared", "slowdown:applied"]
+        assert injector.active is second
+        assert agent.probe is original

@@ -1,0 +1,90 @@
+"""Shard-level behaviour: training payloads, pure reruns, round records."""
+
+import pytest
+
+from repro.loadgen import (
+    STEADY_SITE,
+    VAR_SITE,
+    ShardTask,
+    deterministic_json,
+    make_universe,
+    run_shard,
+    universe_seed,
+)
+
+GAP = 600.0
+
+
+def calm_task(config, rounds=5, index=0):
+    return ShardTask(
+        index=index,
+        scenario="calm",
+        rounds=rounds,
+        gap_seconds=GAP,
+        config=config,
+    )
+
+
+def test_universe_is_reproducible(micro_config):
+    var_a, steady_a = make_universe(micro_config)
+    var_b, steady_b = make_universe(micro_config)
+    assert var_a.name == VAR_SITE and steady_a.name == STEADY_SITE
+    table = micro_config.join_tables[0]
+    assert len(var_a.database.catalog.table(table)) == len(
+        var_b.database.catalog.table(table)
+    )
+    assert universe_seed(micro_config) == universe_seed(micro_config)
+
+
+def test_trained_payload_covers_both_sites(trained_payload):
+    models = trained_payload["models"]
+    assert len(models) == 4
+    sites = {key.split("/")[0] for key in models}
+    assert sites == {VAR_SITE, STEADY_SITE}
+
+
+@pytest.mark.slow
+def test_run_shard_calm_counts(micro_config, trained_payload):
+    task = calm_task(micro_config, rounds=5)
+    report = run_shard(task, trained_payload)
+    expected = task.rounds * task.queries_per_round
+    assert report.requests == expected
+    assert report.completed == expected
+    assert report.failed == 0
+    assert len(report.latencies) == expected
+    assert len(report.wall_latencies) == expected
+    assert all(value > 0 for value in report.latencies)
+    assert len(report.rounds) == task.rounds
+    assert [r.index for r in report.rounds] == list(range(task.rounds))
+    assert report.models_imported == 4
+    # Simulated time advances monotonically round to round.
+    times = [r.sim_time for r in report.rounds]
+    assert times == sorted(times)
+    assert not any(r.disturbed for r in report.rounds)
+
+
+@pytest.mark.slow
+def test_run_shard_is_a_pure_function(micro_config, trained_payload):
+    """Same (task, payload) in, byte-identical deterministic report out."""
+    task = calm_task(micro_config, rounds=4)
+    first = run_shard(task, trained_payload)
+    second = run_shard(task, trained_payload)
+    assert deterministic_json(first.deterministic_dict()) == deterministic_json(
+        second.deterministic_dict()
+    )
+
+
+@pytest.mark.slow
+def test_shards_differ_only_by_stream(micro_config, trained_payload):
+    """Different indexes serve different queries over the same universe."""
+    first = run_shard(calm_task(micro_config, rounds=4, index=0), trained_payload)
+    second = run_shard(calm_task(micro_config, rounds=4, index=1), trained_payload)
+    assert first.latencies != second.latencies
+
+
+def test_deterministic_dict_drops_wall_fields(micro_config, trained_payload):
+    report = run_shard(calm_task(micro_config, rounds=2), trained_payload)
+    payload = report.deterministic_dict()
+    assert "wall_latencies" not in payload
+    assert "wall_seconds" not in payload
+    assert report.wall_seconds > 0.0

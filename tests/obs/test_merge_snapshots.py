@@ -1,0 +1,128 @@
+"""Cross-process accuracy aggregation: merging tracker snapshots.
+
+The loadgen coordinator runs one private :class:`AccuracyTracker` per
+shard and merges their snapshot payloads into the fleet-wide aggregate;
+these tests pin the merge semantics: sample-weighted window stats per
+(site, class, state), probe counts summed with ranges widened, drift
+events concatenated — and a merged snapshot equals what one tracker
+would have seen given all the samples.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.quality import (
+    AccuracyTracker,
+    WindowStats,
+    merge_accuracy_snapshots,
+    merge_window_stats,
+)
+
+SAMPLES_A = [(10.0, 11.0), (8.0, 8.2), (5.0, 9.0)]
+SAMPLES_B = [(4.0, 4.1), (7.0, 3.0)]
+
+
+def tracker_with(samples, site="site_a", label="G1", state=0):
+    tracker = AccuracyTracker(export=False)
+    for predicted, actual in samples:
+        tracker.record(site, label, state, predicted, actual)
+    return tracker
+
+
+class TestMergeWindowStats:
+    def test_empty_merge_is_empty(self):
+        merged = merge_window_stats([])
+        assert merged.count == 0
+
+    def test_weighted_means(self):
+        a = WindowStats(
+            count=3,
+            pct_very_good=100.0,
+            pct_good=100.0,
+            mean_relative_error=0.1,
+            bias=0.1,
+            mean_predicted=10.0,
+            mean_actual=10.0,
+        )
+        b = WindowStats(
+            count=1,
+            pct_very_good=0.0,
+            pct_good=0.0,
+            mean_relative_error=0.5,
+            bias=-0.5,
+            mean_predicted=2.0,
+            mean_actual=4.0,
+        )
+        merged = merge_window_stats([a, b])
+        assert merged.count == 4
+        assert merged.pct_good == pytest.approx(75.0)
+        assert merged.mean_relative_error == pytest.approx(0.2)
+        assert merged.bias == pytest.approx(-0.05)
+        assert merged.mean_predicted == pytest.approx(8.0)
+
+
+class TestMergeAccuracySnapshots:
+    def test_merge_equals_single_tracker(self):
+        """Two half-fed trackers merge into what one full one shows."""
+        merged = merge_accuracy_snapshots(
+            [
+                tracker_with(SAMPLES_A).snapshot(),
+                tracker_with(SAMPLES_B).snapshot(),
+            ]
+        )
+        reference = tracker_with(SAMPLES_A + SAMPLES_B).snapshot()
+        assert len(merged["rows"]) == len(reference["rows"])
+        for got, want in zip(merged["rows"], reference["rows"]):
+            assert (got["site"], got["class"], got["state"]) == (
+                want["site"],
+                want["class"],
+                want["state"],
+            )
+            assert got["n"] == want["n"]
+            assert got["good_pct"] == pytest.approx(want["good_pct"])
+            assert got["mean_rel_err"] == pytest.approx(want["mean_rel_err"])
+            assert got["bias"] == pytest.approx(want["bias"])
+
+    def test_distinct_keys_stay_separate(self):
+        merged = merge_accuracy_snapshots(
+            [
+                tracker_with(SAMPLES_A, site="site_a").snapshot(),
+                tracker_with(SAMPLES_B, site="site_b").snapshot(),
+            ]
+        )
+        sites = {row["site"] for row in merged["rows"]}
+        assert sites >= {"site_a", "site_b"}
+
+    def test_probes_summed_and_widened(self):
+        a = AccuracyTracker(export=False)
+        b = AccuracyTracker(export=False)
+        for cost in (1.0, 2.0):
+            a.record_probe("site_a", cost)
+        for cost in (0.5, 5.0):
+            b.record_probe("site_a", cost)
+        b.record_probe("site_b", 3.0)
+        merged = merge_accuracy_snapshots([a.snapshot(), b.snapshot()])
+        site_a = merged["probes"]["site_a"]
+        assert site_a["n"] == 4
+        assert site_a["min"] == 0.5
+        assert site_a["max"] == 5.0
+        assert site_a["last"] is None  # not well defined across processes
+        assert merged["probes"]["site_b"]["n"] == 1
+
+    def test_survives_a_json_round_trip(self):
+        """Snapshots that crossed a process/JSON boundary still merge."""
+        payloads = [
+            json.loads(json.dumps(tracker_with(SAMPLES_A).snapshot())),
+            json.loads(json.dumps(tracker_with(SAMPLES_B).snapshot())),
+        ]
+        merged = merge_accuracy_snapshots(payloads)
+        assert sum(row["n"] for row in merged["rows"]) == 2 * (
+            len(SAMPLES_A) + len(SAMPLES_B)
+        )
+
+    def test_merge_of_nothing(self):
+        merged = merge_accuracy_snapshots([])
+        assert merged["rows"] == []
+        assert merged["probes"] == {}
+        assert merged["drift_events"] == []
