@@ -67,6 +67,18 @@ from .sampling import (
 )
 from .selection import SelectionConfig, SelectionResult, SelectionStep, select_variables
 from .static_method import StaticQuerySampling, derive_static_cost_model
+from .strategy import (
+    DEFAULT_STRATEGY,
+    STRATEGY_NAMES,
+    CostModelStrategy,
+    OLSStrategy,
+    OnlineSample,
+    RLSStrategy,
+    SGDStrategy,
+    model_form,
+    resolve_strategy,
+    strategy_for,
+)
 from .validation import (
     ValidationReport,
     is_acceptable,
@@ -95,7 +107,9 @@ __all__ = [
     "Cluster",
     "ContentionStates",
     "CostModelBuilder",
+    "CostModelStrategy",
     "DEFAULT_MERGE_THRESHOLD",
+    "DEFAULT_STRATEGY",
     "G1",
     "G2",
     "G3",
@@ -109,12 +123,17 @@ __all__ = [
     "ModelForm",
     "ModelMaintainer",
     "MultiStateCostModel",
+    "OLSStrategy",
     "Observation",
+    "OnlineSample",
     "PhaseRecord",
     "ProbingCostEstimator",
     "ProbingQuery",
     "QualitativeFit",
     "QueryClass",
+    "RLSStrategy",
+    "SGDStrategy",
+    "STRATEGY_NAMES",
     "SamplingPlan",
     "SelectionConfig",
     "SelectionResult",
@@ -154,12 +173,15 @@ __all__ = [
     "merge_adjustment",
     "merge_small_clusters",
     "minimum_observations",
+    "model_form",
     "num_parameters",
     "observation_from_result",
     "partition_from_intervals",
     "recommended_sample_size",
     "relative_error",
+    "resolve_strategy",
     "select_variables",
+    "strategy_for",
     "split_train_test",
     "term_names",
     "uniform_partition",

@@ -38,6 +38,7 @@ from .partition import ContentionStates
 from .probing import ProbingQuery, default_probing_query
 from .sampling import SamplingPlan, collect_observations, recommended_sample_size
 from .selection import SelectionConfig, SelectionResult, select_variables
+from .strategy import DEFAULT_STRATEGY, resolve_strategy
 from .variables import Observation, check_observations
 
 ALGORITHMS = ("iupma", "icma", "static")
@@ -54,6 +55,9 @@ class BuilderConfig:
     secondary_allowance: int = 2
     #: Anticipated maximum state count used for sizing the sample.
     sizing_states: int = 6
+    #: Model-form strategy the final fit ships as (see
+    #: :mod:`repro.core.strategy`); ``mlr.ols`` is the paper's method.
+    strategy: str = DEFAULT_STRATEGY
 
 
 @dataclass
@@ -118,21 +122,28 @@ class CostModelBuilder:
         observations: Sequence[Observation],
         query_class: QueryClass,
         algorithm: str = "iupma",
+        strategy: str | None = None,
     ) -> BuildOutcome:
-        """Steps 4–6 of the pipeline over pre-collected observations."""
+        """Steps 4–6 of the pipeline over pre-collected observations.
+
+        *strategy* overrides the configured model-form strategy for this
+        one derivation (the maintainer uses this for per-class forms).
+        """
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
         with obs.span(
             "build.derive", class_label=query_class.label, algorithm=algorithm
         ):
-            return self._derive(observations, query_class, algorithm)
+            return self._derive(observations, query_class, algorithm, strategy)
 
     def _derive(
         self,
         observations: Sequence[Observation],
         query_class: QueryClass,
         algorithm: str,
+        strategy: str | None = None,
     ) -> BuildOutcome:
+        form_strategy = resolve_strategy(strategy or self.config.strategy)
         timings: dict[str, float] = {}
         observations = list(observations)
         variables = query_class.variables
@@ -232,6 +243,11 @@ class CostModelBuilder:
                     else []
                 ),
             )
+            # The model form is a pluggable strategy: the default (OLS)
+            # finalize is the identity, keeping the paper's artifact
+            # byte-identical; online forms re-derive coefficients from
+            # the same selected design.
+            model = form_strategy.finalize(model, selection.fit)
         timings["fitting"] = time.perf_counter() - phase_started
         obs.inc("build.models_built")
         return BuildOutcome(
@@ -247,6 +263,7 @@ class CostModelBuilder:
         query_class: QueryClass,
         queries: Sequence[Query | str],
         algorithm: str = "iupma",
+        strategy: str | None = None,
     ) -> BuildOutcome:
         """The full pipeline: collect observations, then derive the model."""
         with obs.span(
@@ -258,6 +275,8 @@ class CostModelBuilder:
             sampling_started = time.perf_counter()
             observations = self.collect(queries)
             sampling_seconds = time.perf_counter() - sampling_started
-            outcome = self.build_from_observations(observations, query_class, algorithm)
+            outcome = self.build_from_observations(
+                observations, query_class, algorithm, strategy
+            )
         outcome.timings = {"sampling": sampling_seconds, **outcome.timings}
         return outcome

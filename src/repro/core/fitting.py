@@ -9,7 +9,7 @@ the statistics the determination algorithms iterate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +33,11 @@ class QualitativeFit:
     ols: OLSResult
     form: ModelForm
     variable_names: tuple[str, ...]
+    #: Training design matrix and response, kept so alternative model-form
+    #: strategies (:mod:`repro.core.strategy`) can re-derive coefficients
+    #: from the same selected design without re-running selection.
+    design: np.ndarray | None = field(default=None, repr=False, compare=False)
+    response: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_states(self) -> int:
@@ -104,6 +109,8 @@ def fit_qualitative(
         ols=ols,
         form=form,
         variable_names=tuple(variable_names),
+        design=design,
+        response=y,
     )
 
 

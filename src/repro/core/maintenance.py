@@ -166,6 +166,8 @@ class _Registration:
     sample_count: int
     algorithm: str
     last_built_at: float
+    #: Model-form strategy override; None = the builder's configured one.
+    strategy: str | None = None
 
 
 class ModelMaintainer:
@@ -210,8 +212,15 @@ class ModelMaintainer:
         sample_count: int | None = None,
         algorithm: str = "iupma",
         build_now: bool = True,
+        strategy: str | None = None,
     ) -> BuildOutcome | None:
-        """Track *query_class*; optionally derive its model immediately."""
+        """Track *query_class*; optionally derive its model immediately.
+
+        *strategy* pins a model-form strategy for this class; rebuilds go
+        through the :class:`~repro.core.strategy.CostModelStrategy`
+        interface, so a drift-triggered re-derivation reproduces the same
+        form the class was registered with.
+        """
         count = sample_count or self.builder.sample_size(query_class)
         self._registrations[query_class.label] = _Registration(
             query_class=query_class,
@@ -219,6 +228,7 @@ class ModelMaintainer:
             sample_count=count,
             algorithm=algorithm,
             last_built_at=float("-inf"),
+            strategy=strategy,
         )
         if build_now:
             return self._rebuild(query_class.label, reasons=("initial build",))
@@ -278,7 +288,10 @@ class ModelMaintainer:
         ):
             queries = registration.query_source(registration.sample_count)
             outcome = self.builder.build(
-                registration.query_class, queries, registration.algorithm
+                registration.query_class,
+                queries,
+                registration.algorithm,
+                strategy=registration.strategy,
             )
         obs.inc("maintenance.rebuilds")
         obs.set_gauge(

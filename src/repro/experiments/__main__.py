@@ -59,6 +59,12 @@ from .loadgen_scale import (
     run_loadgen_scale,
 )
 from .model_forms import render_model_forms, run_model_forms
+from .model_race import (
+    model_race_payload,
+    render_model_race,
+    render_race_timings,
+    run_model_race,
+)
 from .plan_quality import (
     render_plan_quality,
     render_probe_cache_quality,
@@ -197,6 +203,9 @@ LAST_ENGINE_RESULT = None
 #: The most recent loadgen-scale result (for ``--loadgen-bench-out``).
 LAST_LOADGEN_RESULT = None
 
+#: The most recent model-race result (for ``--model-race-out``).
+LAST_MODEL_RACE_RESULT = None
+
 
 def _bench_engine_hotpaths(config) -> None:
     global LAST_ENGINE_RESULT
@@ -237,6 +246,16 @@ def _bench_serving_throughput(config) -> None:
     _note(render_serving_timings(result))
 
 
+def _bench_model_race(config) -> None:
+    global LAST_MODEL_RACE_RESULT
+    _banner("Race: multi-states OLS re-derivation vs online RLS/SGD forms")
+    result = run_model_race(config)
+    LAST_MODEL_RACE_RESULT = result
+    # The frontier table is simulated-facts-only; wall time to stderr.
+    print(render_model_race(result))
+    _note(render_race_timings(result))
+
+
 #: Bench registry, in print order.  Names are the ``--only`` vocabulary.
 BENCHES: tuple[tuple[str, object], ...] = (
     ("figure1", _bench_figure1),
@@ -254,6 +273,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("serving_throughput", _bench_serving_throughput),
     ("engine_hotpaths", _bench_engine_hotpaths),
     ("loadgen_scale", _bench_loadgen_scale),
+    ("model_race", _bench_model_race),
 )
 
 
@@ -368,6 +388,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--model-race-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the model-race JSON payload (per-form recovery scores, "
+            "BENCH_model_race.json schema) at exit"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -392,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         ("--bench-out", args.bench_out),
         ("--engine-bench-out", args.engine_bench_out),
         ("--loadgen-bench-out", args.loadgen_bench_out),
+        ("--model-race-out", args.model_race_out),
     ):
         if not path:
             continue
@@ -490,6 +520,20 @@ def main(argv: list[str] | None = None) -> int:
                 _note(
                     f"wrote loadgen bench payload to {args.loadgen_bench_out}"
                 )
+        if args.model_race_out:
+            if LAST_MODEL_RACE_RESULT is None:
+                _note(
+                    "--model-race-out: model_race did not run; "
+                    "writing nothing"
+                )
+            else:
+                with open(args.model_race_out, "w") as handle:
+                    json.dump(
+                        model_race_payload(LAST_MODEL_RACE_RESULT),
+                        handle,
+                        indent=2,
+                    )
+                _note(f"wrote model race payload to {args.model_race_out}")
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

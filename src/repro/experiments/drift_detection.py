@@ -43,7 +43,7 @@ from ..mdbs.agent import MDBSAgent
 from ..mdbs.gquery import GlobalJoinQuery
 from ..mdbs.server import MDBSServer
 from ..obs.quality import AccuracyTracker, DriftEvent, DriftPolicy, WindowStats
-from ..workload.scenarios import make_site
+from ..workload.scenarios import make_two_site_universe
 from .config import ExperimentConfig
 from .report import format_table
 
@@ -159,23 +159,14 @@ def run_drift_detection(
     config = config or ExperimentConfig()
     rng = np.random.default_rng(config.seed + 55)
 
-    left = make_site(
-        "drift_site",
-        profile=ORACLE_LIKE,
-        environment_kind="uniform",
-        scale=config.scale,
-        seed=config.seed + 11,
-    )
-    right = make_site(
-        "steady_site",
-        profile=ORACLE_LIKE,
-        environment_kind="uniform",
-        scale=config.scale,
-        seed=config.seed + 22,
-    )
     # Both sites calm while models are derived and the baseline runs.
-    left.load_builder.uniform(CALM_LOW, CALM_HIGH)
-    right.load_builder.uniform(CALM_LOW, CALM_HIGH)
+    left, right = make_two_site_universe(
+        names=("drift_site", "steady_site"),
+        profiles=(ORACLE_LIKE, ORACLE_LIKE),
+        seeds=(config.seed + 11, config.seed + 22),
+        scale=config.scale,
+        calm_range=(CALM_LOW, CALM_HIGH),
+    )
 
     # A small probe window keeps the probe_escape rule responsive at
     # experiment scale; installed globally so obs snapshots include it.

@@ -44,7 +44,7 @@ from ..mdbs.agent import MDBSAgent
 from ..mdbs.gquery import GlobalJoinQuery
 from ..mdbs.server import MDBSServer
 from ..serving import ServingConfig, ServingFrontEnd
-from ..workload.scenarios import make_site
+from ..workload.scenarios import make_two_site_universe
 from .config import ExperimentConfig
 from .report import format_table
 
@@ -165,15 +165,11 @@ def _train_models(config: ExperimentConfig) -> dict:
 
 def _make_sites(config: ExperimentConfig):
     """A fresh, identically seeded pair of sites (one per call site)."""
-    return (
-        make_site(
-            "site_a", profile=ORACLE_LIKE, environment_kind="uniform",
-            scale=config.scale, seed=config.seed + 81,
-        ),
-        make_site(
-            "site_b", profile=DB2_LIKE, environment_kind="uniform",
-            scale=config.scale, seed=config.seed + 82,
-        ),
+    return make_two_site_universe(
+        names=("site_a", "site_b"),
+        profiles=(ORACLE_LIKE, DB2_LIKE),
+        seeds=(config.seed + 81, config.seed + 82),
+        scale=config.scale,
     )
 
 

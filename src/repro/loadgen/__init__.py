@@ -45,6 +45,7 @@ from .worker import (
     loadgen_tables,
     make_universe,
     run_shard,
+    train_model_payloads,
     train_models,
     universe_seed,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "named_fault_plan",
     "percentile",
     "run_shard",
+    "train_model_payloads",
     "train_models",
     "universe_seed",
 ]

@@ -25,12 +25,13 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..core.strategy import DEFAULT_STRATEGY
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import hermetic_worker_obs
 from ..workload.scenarios import SCENARIO_KINDS
 from .faults import FaultSchedule, named_fault_plan
 from .report import aggregate_reports, deterministic_json, percentile
-from .worker import ShardReport, ShardTask, run_shard, train_models
+from .worker import ShardReport, ShardTask, run_shard, train_model_payloads
 
 #: Default simulated seconds between served rounds (matches the
 #: drift-detection experiment's cadence).
@@ -52,6 +53,11 @@ class LoadGenConfig:
     #: Recovery criterion fed to the drift-loop measurement.
     recover_floor_pct: float = 50.0
     recover_min_samples: int = 3
+    #: Model-form strategy per shard, cycled like ``scenario_mix``.  The
+    #: default keeps every shard on the paper's OLS form (zero extra
+    #: training); a mix like ``("mlr.ols", "mlr.rls")`` races forms
+    #: across the fleet.
+    strategy_mix: tuple[str, ...] = (DEFAULT_STRATEGY,)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -60,9 +66,23 @@ class LoadGenConfig:
             raise ValueError("rounds must be >= 1")
         if not self.scenario_mix:
             raise ValueError("scenario_mix must name at least one scenario")
+        if not self.strategy_mix:
+            raise ValueError("strategy_mix must name at least one strategy")
 
     def scenario_for(self, shard: int) -> str:
         return self.scenario_mix[shard % len(self.scenario_mix)]
+
+    def strategy_for(self, shard: int) -> str:
+        return self.strategy_mix[shard % len(self.strategy_mix)]
+
+    def strategies(self) -> tuple[str, ...]:
+        """Distinct strategies the fleet needs, in first-use order."""
+        seen: list[str] = []
+        for index in range(self.shards):
+            name = self.strategy_for(index)
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
 
     def tasks(self) -> list[ShardTask]:
         return [
@@ -74,6 +94,7 @@ class LoadGenConfig:
                 config=self.experiment,
                 faults=self.faults.for_shard(index),
                 queries_per_round=self.queries_per_round,
+                strategy=self.strategy_for(index),
             )
             for index in range(self.shards)
         ]
@@ -145,26 +166,45 @@ class Coordinator:
 
     def __init__(self, config: LoadGenConfig, payload: dict | None = None) -> None:
         self.config = config
-        #: The trained-model registry payload every shard imports.  Pass
-        #: one in to share training across runs (the scale bench trains
-        #: once for the whole worker ladder).
-        self.payload = payload
+        #: Trained registry payloads, one per model-form strategy in the
+        #: mix.  Pass ``payload`` (a single registry export) to share
+        #: training across runs (the scale bench trains once for the
+        #: whole worker ladder); it seeds the default-strategy slot.
+        self.payloads: dict[str, dict] = {}
+        if payload is not None:
+            self.payloads[DEFAULT_STRATEGY] = payload
+
+    @property
+    def payload(self) -> dict | None:
+        """The default-strategy payload (back-compat accessor)."""
+        return self.payloads.get(DEFAULT_STRATEGY)
 
     def train(self) -> dict:
-        """Derive the shared models (idempotent; cached on the instance)."""
-        if self.payload is None:
-            self.payload = train_models(self.config.experiment)
-        return self.payload
+        """Derive the shared models (idempotent; cached on the instance).
+
+        One derivation pass per *distinct* strategy in the mix — the
+        default single-strategy mix trains exactly once, as before.
+        Returns the first strategy's payload.
+        """
+        strategies = self.config.strategies()
+        missing = tuple(s for s in strategies if s not in self.payloads)
+        if missing:
+            self.payloads.update(
+                train_model_payloads(self.config.experiment, missing)
+            )
+        return self.payloads[strategies[0]]
 
     def run(self, workers: int = 1) -> LoadGenReport:
         """Execute every shard with *workers* processes and merge."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        payload = self.train()
+        self.train()
         tasks = self.config.tasks()
         started = time.perf_counter()
         if workers == 1 or len(tasks) == 1:
-            reports = [run_shard(task, payload) for task in tasks]
+            reports = [
+                run_shard(task, self.payloads[task.strategy]) for task in tasks
+            ]
         else:
             by_index: dict[int, ShardReport] = {}
             with ProcessPoolExecutor(
@@ -172,7 +212,9 @@ class Coordinator:
                 initializer=hermetic_worker_obs,
             ) as pool:
                 futures = {
-                    pool.submit(run_shard, task, payload): task.index
+                    pool.submit(
+                        run_shard, task, self.payloads[task.strategy]
+                    ): task.index
                     for task in tasks
                 }
                 for future, index in futures.items():

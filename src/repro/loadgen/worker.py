@@ -37,6 +37,7 @@ import numpy as np
 from ..core.builder import BuilderConfig, CostModelBuilder
 from ..core.classification import G1, G3
 from ..core.iupma import StatesConfig
+from ..core.strategy import DEFAULT_STRATEGY
 from ..engine.predicate import Comparison
 from ..engine.profiles import DB2_LIKE, ORACLE_LIKE
 from ..env.loadbuilder import LoadBuilder
@@ -53,7 +54,7 @@ from ..workload.scenarios import (
     SCENARIO_CALM_RANGE,
     Site,
     install_scenario_trace,
-    make_site,
+    make_two_site_universe,
     scenario_shift_round,
 )
 from .faults import FaultEvent, FaultInjector
@@ -82,9 +83,17 @@ def loadgen_tables(config: ExperimentConfig) -> list[str]:
     return list(config.join_tables or ("R1", "R2", "R3", "R4"))
 
 
-def loadgen_builder_config() -> BuilderConfig:
-    """Fewer, better-identified states (the drift experiment's tuning)."""
-    return BuilderConfig(states=StatesConfig(max_states=4, min_obs_per_state=25))
+def loadgen_builder_config(strategy: str = DEFAULT_STRATEGY) -> BuilderConfig:
+    """Fewer, better-identified states (the drift experiment's tuning).
+
+    *strategy* picks the model-form strategy the shard's builds and
+    drift rebuilds go through (``"mlr.ols"`` reproduces the pre-strategy
+    behavior byte for byte).
+    """
+    return BuilderConfig(
+        states=StatesConfig(max_states=4, min_obs_per_state=25),
+        strategy=strategy,
+    )
 
 
 def loadgen_drift_policy(gap_seconds: float) -> DriftPolicy:
@@ -128,6 +137,8 @@ class ShardTask:
     config: ExperimentConfig
     faults: tuple[FaultEvent, ...] = ()
     queries_per_round: int = 3
+    #: Model-form strategy this shard serves and rebuilds with.
+    strategy: str = DEFAULT_STRATEGY
 
 
 @dataclass
@@ -163,6 +174,8 @@ class ShardReport:
     index: int
     scenario: str
     rounds: list[RoundRecord]
+    #: Model-form strategy the shard served with (see ShardTask).
+    strategy: str = DEFAULT_STRATEGY
     requests: int = 0
     completed: int = 0
     failed: int = 0
@@ -202,23 +215,13 @@ def make_universe(config: ExperimentConfig) -> tuple[Site, Site]:
     hold byte-identical databases and generators.
     """
     useed = universe_seed(config)
-    var = make_site(
-        VAR_SITE,
-        profile=ORACLE_LIKE,
-        environment_kind="uniform",
+    return make_two_site_universe(
+        names=(VAR_SITE, STEADY_SITE),
+        profiles=(ORACLE_LIKE, DB2_LIKE),
+        seeds=(useed + 81, useed + 82),
         scale=config.scale,
-        seed=useed + 81,
+        calm_range=SCENARIO_CALM_RANGE,
     )
-    steady = make_site(
-        STEADY_SITE,
-        profile=DB2_LIKE,
-        environment_kind="uniform",
-        scale=config.scale,
-        seed=useed + 82,
-    )
-    var.load_builder.uniform(*SCENARIO_CALM_RANGE)
-    steady.load_builder.uniform(*SCENARIO_CALM_RANGE)
-    return var, steady
 
 
 def train_models(config: ExperimentConfig) -> dict:
@@ -227,11 +230,25 @@ def train_models(config: ExperimentConfig) -> dict:
     Runs once in the coordinator; shards import the payload and register
     their classes with ``build_now=False``.
     """
+    return train_model_payloads(config, (DEFAULT_STRATEGY,))[DEFAULT_STRATEGY]
+
+
+def train_model_payloads(
+    config: ExperimentConfig, strategies: tuple[str, ...]
+) -> dict[str, dict]:
+    """One registry payload per model-form strategy, trained on one pass.
+
+    Sampling the training queries is the expensive part; the observation
+    set is collected once per (site, class) and every strategy derives
+    its form from the same observations — so racing forms differ only in
+    how they fit, never in what they saw.
+    """
     var, steady = make_universe(config)
     tables = loadgen_tables(config)
-    catalog = GlobalCatalog()
+    catalogs = {name: GlobalCatalog() for name in strategies}
     for site in (var, steady):
-        catalog.register_site(site.name)
+        for catalog in catalogs.values():
+            catalog.register_site(site.name)
         builder = CostModelBuilder(
             site.database, config=loadgen_builder_config()
         )
@@ -241,11 +258,13 @@ def train_models(config: ExperimentConfig) -> dict:
                 config.train_count(query_class.family),
                 tables=tables,
             )
-            outcome = builder.build_from_observations(
-                builder.collect(queries), query_class, "iupma"
-            )
-            catalog.store_cost_model(site.name, outcome.model)
-    return catalog.export_models()
+            observations = builder.collect(queries)
+            for name, catalog in catalogs.items():
+                outcome = builder.build_from_observations(
+                    observations, query_class, "iupma", strategy=name
+                )
+                catalog.store_cost_model(site.name, outcome.model)
+    return {name: catalog.export_models() for name, catalog in catalogs.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -300,7 +319,9 @@ def run_shard(task: ShardTask, payload: dict) -> ShardReport:
         # The builder captures the *original* probe object, so drift
         # rebuilds keep working while an outage has swapped agent.probe.
         builder=CostModelBuilder(
-            agent.database, probe=agent.probe, config=loadgen_builder_config()
+            agent.database,
+            probe=agent.probe,
+            config=loadgen_builder_config(task.strategy),
         ),
         drift=loadgen_drift_policy(task.gap_seconds),
     )
@@ -313,6 +334,7 @@ def run_shard(task: ShardTask, payload: dict) -> ShardReport:
             ),
             sample_count=config.train_count(query_class.family),
             build_now=False,
+            strategy=task.strategy,
         )
 
     # Per-shard variety comes from two derived streams only: the query
@@ -337,6 +359,7 @@ def run_shard(task: ShardTask, payload: dict) -> ShardReport:
         index=task.index,
         scenario=task.scenario,
         rounds=[],
+        strategy=task.strategy,
         models_imported=imported,
     )
     registry = server.catalog.registry

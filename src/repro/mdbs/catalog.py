@@ -30,7 +30,14 @@ from .registry import (
 )
 
 #: Version of the on-disk cost-model payload this code writes.
-MODEL_SCHEMA_VERSION = 2
+#: v3 adds the model-form strategy and its online-update log to each
+#: version's provenance (:class:`~repro.mdbs.registry.ModelProvenance`).
+MODEL_SCHEMA_VERSION = 3
+
+#: Payload versions :meth:`GlobalCatalog.import_models` can read.  v2
+#: predates pluggable model forms; its provenance fields default to the
+#: paper's batch OLS on load.  The legacy flat format is implicit v1.
+SUPPORTED_MODEL_SCHEMA_VERSIONS = (2, 3)
 
 
 class GlobalCatalogError(KeyError):
@@ -149,8 +156,9 @@ class GlobalCatalog:
     def import_models(self, payload: dict, sites: Iterable[str] = ()) -> int:
         """Load an :meth:`export_models` payload; returns models loaded.
 
-        Accepts the current versioned format (``schema_version`` 2) and
-        the legacy flat ``{"site/label": model_dict}`` format (implicit
+        Accepts the current versioned format (``schema_version`` 3), the
+        previous versioned format (2, read with form defaults), and the
+        legacy flat ``{"site/label": model_dict}`` format (implicit
         version 1).  Unknown schema versions are rejected — silently
         misreading a future payload as models would corrupt the serving
         path.
@@ -167,11 +175,11 @@ class GlobalCatalog:
                 )
             return len(records)
         version = payload["schema_version"]
-        if version != MODEL_SCHEMA_VERSION:
+        if version not in SUPPORTED_MODEL_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_MODEL_SCHEMA_VERSIONS)
             raise GlobalCatalogError(
                 f"unsupported cost-model schema_version {version!r} "
-                f"(this build reads {MODEL_SCHEMA_VERSION} and the legacy "
-                "flat format)"
+                f"(this build reads {supported} and the legacy flat format)"
             )
         records = payload["models"]
         for key in records:

@@ -146,6 +146,10 @@ class CostEstimate:
     #: accuracy tracker attribute each estimate-vs-actual pair to the
     #: (site, class, state) window that produced the prediction.
     site: str | None = None
+    #: Explanatory-variable values behind the estimate.  Online model
+    #: forms rebuild the design row from these to fold the served
+    #: estimate-vs-actual sample back into the model.
+    values: dict | None = field(default=None, compare=False, hash=False)
 
 
 @dataclass
@@ -248,6 +252,7 @@ class GlobalQueryOptimizer:
                 query_class.label,
                 state,
                 site,
+                values=values,
             ),
             values,
         )
@@ -268,6 +273,7 @@ class GlobalQueryOptimizer:
             join_class_label,
             state,
             site,
+            values=values,
         )
 
     # -- plan enumeration --------------------------------------------------------

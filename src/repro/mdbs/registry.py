@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator
 
 from .. import obs
 from ..core.model import MultiStateCostModel
+from ..core.strategy import DEFAULT_STRATEGY, model_form as _model_form
 
 
 class CostModelRegistryError(KeyError):
@@ -74,6 +75,14 @@ class ModelProvenance:
     #: model carries the paper's contention state; sites simulating a
     #: memory hierarchy add the observed ``buffer_hit_state``.
     qualitative_variables: tuple[str, ...] = ("contention_state",)
+    #: Model-form strategy the version was derived with (schema v3; see
+    #: :mod:`repro.core.strategy`).  ``mlr.ols`` is the paper's batch form.
+    model_form: str = DEFAULT_STRATEGY
+    #: Total served-sample updates folded into this version online.
+    online_updates: int = 0
+    #: Recent online-update summaries, oldest first (capped; the count
+    #: above is authoritative).  Each entry is a JSON-compatible dict.
+    update_log: tuple = ()
 
     @classmethod
     def from_model(
@@ -97,6 +106,7 @@ class ModelProvenance:
             config_hash=config_hash,
             trigger=trigger,
             qualitative_variables=qualitative,
+            model_form=_model_form(model),
         )
 
     def to_dict(self) -> dict:
@@ -109,6 +119,9 @@ class ModelProvenance:
             "config_hash": self.config_hash,
             "trigger": self.trigger,
             "qualitative_variables": list(self.qualitative_variables),
+            "model_form": self.model_form,
+            "online_updates": self.online_updates,
+            "update_log": [dict(entry) for entry in self.update_log],
         }
 
     @classmethod
@@ -124,6 +137,11 @@ class ModelProvenance:
             qualitative_variables=tuple(
                 payload.get("qualitative_variables", ("contention_state",))
             ),
+            # Schema v2 payloads predate pluggable forms; default to the
+            # paper's batch OLS (the only form that existed then).
+            model_form=payload.get("model_form", DEFAULT_STRATEGY),
+            online_updates=int(payload.get("online_updates", 0)),
+            update_log=tuple(dict(e) for e in payload.get("update_log", ())),
         )
 
 
@@ -271,6 +289,44 @@ class CostModelRegistry:
             obs.inc("mdbs.registry.rollbacks")
             self._notify("rollback", site, class_label, target)
         return self.version(site, class_label, target)
+
+    def record_online_update(
+        self,
+        site: str,
+        class_label: str,
+        version: int,
+        entry: dict,
+        max_log: int = 64,
+    ) -> ModelVersion:
+        """Log one served-sample update folded into *version* online.
+
+        Online strategies (``mlr.rls`` / ``mlr.sgd``) mutate the served
+        model's coefficients in place; this records that mutation in the
+        version's provenance so exports (schema v3) carry the form's
+        update history.  The log keeps the most recent *max_log* entries;
+        ``online_updates`` counts all of them.
+        """
+        with self._write_lock:
+            current = self.version(site, class_label, version)
+            provenance = current.provenance
+            log = provenance.update_log + (dict(entry),)
+            if len(log) > max_log:
+                log = log[-max_log:]
+            updated = replace(
+                current,
+                provenance=replace(
+                    provenance,
+                    update_log=log,
+                    online_updates=provenance.online_updates + 1,
+                ),
+            )
+            versions = self._versions[(site, class_label)]
+            for index, candidate in enumerate(versions):
+                if candidate.version == version:
+                    versions[index] = updated
+                    break
+            obs.inc("mdbs.registry.online_updates")
+        return updated
 
     def drop_site(self, site: str) -> None:
         """Forget every version for *site* (e.g. a deregistered site)."""

@@ -40,15 +40,21 @@ from ..core.builder import BuildOutcome, CostModelBuilder
 from ..core.classification import QueryClass
 from ..core.maintenance import ChangeDetector, ModelMaintainer
 from ..core.model import MultiStateCostModel
+from ..core.strategy import CostModelStrategy, OnlineSample, model_form, strategy_for
 from ..engine.query import JoinQuery, Query
 from ..obs.quality import AccuracyTracker, DriftDetector, DriftEvent, DriftPolicy
 from .agent import MDBSAgent
 from .catalog import GlobalCatalog
 from .gquery import GlobalJoinQuery
 from .network import NetworkModel
-from .optimizer import GlobalPlan, GlobalQueryOptimizer
+from .optimizer import CostEstimate, GlobalPlan, GlobalQueryOptimizer
 from .probing_service import ProbingService
-from .registry import ModelProvenance, ModelVersion, config_fingerprint
+from .registry import (
+    CostModelRegistryError,
+    ModelProvenance,
+    ModelVersion,
+    config_fingerprint,
+)
 
 _TEMP_LEFT = "_g_left"
 _TEMP_RIGHT = "_g_right"
@@ -60,6 +66,17 @@ class StepTiming:
 
     description: str
     seconds: float
+
+
+@dataclass
+class _OnlineFormState:
+    """Per-(site, class) serving-time state of an online model form."""
+
+    version: int
+    strategy: CostModelStrategy
+    #: The warm-started online estimator; None when the active version's
+    #: form does not update online (cached to skip re-resolution).
+    updater: object | None
 
 
 @dataclass
@@ -123,6 +140,10 @@ class MDBSServer:
         #: keyed (site, class_label) — how a drift-forced rebuild gets
         #: its event recorded in the published version's provenance.
         self._pending_trigger: dict[tuple[str, str], str] = {}
+        #: Serving-time online-form state per (site, class): the warm
+        #: estimator that folds each served estimate-vs-actual sample
+        #: back into the active model when its form updates online.
+        self._online: dict[tuple[str, str], _OnlineFormState] = {}
 
     # -- registration ----------------------------------------------------
 
@@ -190,8 +211,13 @@ class MDBSServer:
         sample_count: int | None = None,
         algorithm: str = "iupma",
         build_now: bool = True,
+        strategy: str | None = None,
     ) -> ModelVersion:
         """Derive + publish the model for *query_class* and keep it maintained.
+
+        ``strategy`` pins a model-form strategy (``"mlr.rls"``, ...) for
+        this class's derivations and drift rebuilds; None uses the
+        builder's configured default.
 
         ``build_now=False`` registers the class for future rebuilds
         without an initial derivation — the load-generation pattern: a
@@ -208,6 +234,7 @@ class MDBSServer:
             sample_count=sample_count,
             algorithm=algorithm,
             build_now=build_now,
+            strategy=strategy,
         )
         return self.catalog.registry.active_version(site, query_class.label)
 
@@ -403,12 +430,88 @@ class MDBSServer:
                 actual=step.seconds,
                 at_time=agent.database.environment.now,
             )
+            # The same (estimate, observation) pair the tracker windows
+            # is what online model forms learn from: RLS/SGD models fold
+            # it into their coefficients right here, per served query.
+            self._online_update(
+                estimate, step.seconds, at_time=agent.database.environment.now
+            )
         observed = execution.observed_seconds
         if observed > 0.0:
             obs.observe(
                 "mdbs.plan.rel_error",
                 abs(execution.estimated_seconds - observed) / observed,
             )
+
+    def model_tag(self, site: str, class_label: str) -> tuple | None:
+        """(version, model form) of the active model for (site, class).
+
+        The plan cache folds this into its keys so plans scored by one
+        model form or version are never served against another — racing
+        strategy deployments cannot cross-contaminate through the cache.
+        """
+        try:
+            entry = self.catalog.registry.active_version(site, class_label)
+        except CostModelRegistryError:
+            return None
+        return (entry.version, model_form(entry.model))
+
+    def _online_update(
+        self, estimate: CostEstimate, actual: float, at_time: float
+    ) -> None:
+        """Fold one served estimate-vs-actual sample into an online form.
+
+        No-op for the default batch-OLS form.  For ``mlr.rls`` /
+        ``mlr.sgd`` models this updates the *active* model's
+        coefficients in place (every optimizer sees the adapted form on
+        the next estimate) and records the update in the version's
+        provenance log.
+        """
+        site, label = estimate.site, estimate.class_label
+        registry = self.catalog.registry
+        if estimate.values is None or estimate.state is None:
+            return
+        if site is None or label is None or not registry.has_model(site, label):
+            return
+        entry = registry.active_version(site, label)
+        key = (site, label)
+        state = self._online.get(key)
+        if state is None or state.version != entry.version:
+            strategy = strategy_for(entry.model)
+            state = _OnlineFormState(
+                version=entry.version,
+                strategy=strategy,
+                updater=(
+                    strategy.make_updater(entry.model)
+                    if strategy.supports_online_update
+                    else None
+                ),
+            )
+            self._online[key] = state
+        if state.updater is None:
+            return
+        sample = OnlineSample(
+            values=estimate.values,
+            state=estimate.state,
+            actual=actual,
+            predicted=estimate.seconds,
+        )
+        error = state.strategy.update(entry.model, sample, state.updater)
+        if error is None:
+            return
+        registry.record_online_update(
+            site,
+            label,
+            entry.version,
+            {
+                "at_time": float(at_time),
+                "state": int(estimate.state),
+                "predicted": float(estimate.seconds),
+                "actual": float(actual),
+                "error": float(error),
+            },
+        )
+        obs.inc("mdbs.online.updates")
 
     def _execute_plan(
         self, query: GlobalJoinQuery, plan: GlobalPlan

@@ -27,11 +27,14 @@ from .intervals import (
 )
 from .linalg import add_intercept, as_design_matrix, as_response_vector, least_squares
 from .ols import OLSResult, fit_ols
+from .rls import NormalizedSGD, RecursiveLeastSquares, rls_fit, sgd_fit
 
 __all__ = [
     "DEFAULT_VIF_LIMIT",
+    "NormalizedSGD",
     "OLSResult",
     "PartialFTest",
+    "RecursiveLeastSquares",
     "add_intercept",
     "as_design_matrix",
     "as_response_vector",
@@ -46,6 +49,8 @@ __all__ = [
     "partial_f_test",
     "per_state_correlations",
     "prediction_interval",
+    "rls_fit",
+    "sgd_fit",
     "simple_correlation",
     "studentized_residuals",
     "variance_inflation_factor",

@@ -42,6 +42,7 @@ __all__ = [
     "DriftDetector",
     "DriftEvent",
     "DriftPolicy",
+    "RecoveryScore",
     "WindowStats",
     "accuracy_table",
     "get_tracker",
@@ -578,6 +579,39 @@ class DriftEvent:
         )
 
 
+@dataclass(frozen=True)
+class RecoveryScore:
+    """How one model form weathered a regime shift (the race verdict).
+
+    Produced by :meth:`DriftDetector.score_recovery` from a per-round
+    accuracy timeline; ``queries_to_recover`` is the number of served
+    queries from the shift until the trailing good-band percentage
+    climbed back over the referee's floor (None = never recovered).
+    """
+
+    calm_good_pct: float
+    shift_round: int | None
+    degraded_round: int | None
+    recovered_round: int | None
+    queries_to_recover: int | None
+    floor_pct: float
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_round is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "calm_good_pct": self.calm_good_pct,
+            "shift_round": self.shift_round,
+            "degraded_round": self.degraded_round,
+            "recovered_round": self.recovered_round,
+            "queries_to_recover": self.queries_to_recover,
+            "floor_pct": self.floor_pct,
+            "recovered": self.recovered,
+        }
+
+
 class DriftDetector:
     """Evaluates a :class:`DriftPolicy` against tracker windows.
 
@@ -586,6 +620,11 @@ class DriftDetector:
     then the good-band floor, then sustained bias — and at most one
     event fires per (site, class) per check, since the remedy (a
     targeted re-derivation) is the same for all three.
+
+    The detector doubles as the *referee* of model-form races
+    (:meth:`score_recovery`): the same good-band floor that triggers a
+    re-derivation scores how many served queries each form needed to get
+    back over it after a regime shift.
     """
 
     def __init__(self, policy: DriftPolicy | None = None) -> None:
@@ -688,6 +727,83 @@ class DriftDetector:
                 stats=stats.to_dict(),
             )
         return None
+
+    # -- race refereeing ---------------------------------------------------
+
+    def score_recovery(
+        self, timeline: Iterable[Mapping], floor_pct: float | None = None
+    ) -> RecoveryScore:
+        """Score one model form's shift recovery from a round timeline.
+
+        *timeline* is a sequence of per-round mappings with keys
+        ``phase`` ("calm" before the shift, anything else after),
+        ``good_pct`` (trailing good-band percentage after the round),
+        ``samples`` (samples behind that percentage) and ``queries``
+        (queries served in the round).  The recovery bar is the policy's
+        ``good_band_floor_pct`` unless *floor_pct* overrides it.
+
+        A form that never dips under the floor after the shift recovers
+        in 0 queries — staying in band through the shift is the best
+        possible outcome, not a scoring gap.
+        """
+        floor = (
+            floor_pct
+            if floor_pct is not None
+            else (self.policy.good_band_floor_pct or 50.0)
+        )
+        rounds = list(timeline)
+        shift_round: int | None = None
+        degraded_round: int | None = None
+        recovered_round: int | None = None
+        queries_to_recover: int | None = None
+        calm_pcts: list[float] = []
+        served_since_shift = 0
+        for index, entry in enumerate(rounds):
+            phase = entry.get("phase", "calm")
+            good_pct = float(entry.get("good_pct", 0.0))
+            samples = int(entry.get("samples", 0))
+            queries = int(entry.get("queries", 0))
+            if phase == "calm":
+                if samples > 0:
+                    calm_pcts.append(good_pct)
+                continue
+            if shift_round is None:
+                shift_round = index
+            if recovered_round is not None:
+                continue
+            served_since_shift += queries
+            if samples <= 0:
+                continue
+            if good_pct < floor:
+                if degraded_round is None:
+                    degraded_round = index
+                continue
+            if degraded_round is not None:
+                # Back over the floor with real samples, post-dip.
+                recovered_round = index
+                queries_to_recover = served_since_shift
+        if (
+            shift_round is not None
+            and degraded_round is None
+            and any(
+                int(e.get("samples", 0)) > 0 for e in rounds[shift_round:]
+            )
+        ):
+            # Never dipped under the floor after the shift: staying in
+            # band through it is recovery in zero served queries.
+            recovered_round = shift_round
+            queries_to_recover = 0
+        calm_good_pct = (
+            sum(calm_pcts) / len(calm_pcts) if calm_pcts else 0.0
+        )
+        return RecoveryScore(
+            calm_good_pct=calm_good_pct,
+            shift_round=shift_round,
+            degraded_round=degraded_round,
+            recovered_round=recovered_round,
+            queries_to_recover=queries_to_recover,
+            floor_pct=floor,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -146,8 +146,13 @@ class ServingFrontEnd:
         if plan_cache is not None:
             self.plan_cache: PlanCache | None = plan_cache
         elif self.config.plan_cache:
+            # Keys carry the active (version, form) per dependency so a
+            # racing strategy deployment never serves a plan scored by a
+            # different model form (see PlanCache's model_tag doc).
             self.plan_cache = PlanCache(
-                server.catalog.registry, capacity=self.config.plan_cache_capacity
+                server.catalog.registry,
+                capacity=self.config.plan_cache_capacity,
+                model_tag=server.model_tag,
             )
         else:
             self.plan_cache = None

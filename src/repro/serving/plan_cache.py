@@ -34,8 +34,9 @@ from .. import obs
 from ..mdbs.gquery import GlobalJoinQuery
 from ..mdbs.optimizer import GlobalPlan
 
-#: One resolved dependency: (site, class_label, contention state).
-StateKey = tuple[tuple[str, str, int], ...]
+#: One resolved dependency: (site, class_label, contention state) plus,
+#: when a model-tag resolver is configured, the active (version, form).
+StateKey = tuple[tuple, ...]
 #: The (site, class_label) pairs a cached plan's estimates read.
 DepKey = tuple[tuple[str, str], ...]
 
@@ -65,10 +66,23 @@ class PlanCache:
     those, so plans for untouched classes survive byte-identical.
     """
 
-    def __init__(self, registry=None, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        registry=None,
+        capacity: int = 1024,
+        model_tag: Callable[[str, str], tuple | None] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        #: Optional ``(site, class_label) -> (version, form)`` resolver
+        #: (:meth:`~repro.mdbs.server.MDBSServer.model_tag`).  When set,
+        #: the tag joins every state key, so plans scored by one model
+        #: version/form are never served for another — belt on top of the
+        #: event-driven invalidation, and the only safeguard that also
+        #: covers *in-place* form changes (online coefficient updates
+        #: republish no event; a version+form mismatch still misses).
+        self._model_tag = model_tag
         self._lock = threading.Lock()
         #: (query_key, state_key) -> plan, in LRU order (oldest first).
         self._plans: "OrderedDict[tuple, GlobalPlan]" = OrderedDict()
@@ -108,12 +122,15 @@ class PlanCache:
             deps = self._deps.get(qkey)
         if deps is None:
             return self._miss()
-        states: list[tuple[str, str, int]] = []
+        states: list[tuple] = []
         for site, label in deps:
             state = resolve_state(site, label)
             if state is None:
                 return self._miss()
-            states.append((site, label, state))
+            tag = self._tag_for(site, label)
+            if tag is None:
+                return self._miss()
+            states.append((site, label, state) + tag)
         full_key = (qkey, tuple(states))
         with self._lock:
             plan = self._plans.get(full_key)
@@ -150,7 +167,13 @@ class PlanCache:
         if not state_by_dep:
             return  # nothing model-backed to key on; not cacheable
         deps: DepKey = tuple(sorted(state_by_dep))
-        states: StateKey = tuple((s, c, state_by_dep[(s, c)]) for s, c in deps)
+        states_list: list[tuple] = []
+        for s, c in deps:
+            tag = self._tag_for(s, c)
+            if tag is None:
+                return  # model vanished mid-flight; not cacheable
+            states_list.append((s, c, state_by_dep[(s, c)]) + tag)
+        states: StateKey = tuple(states_list)
         qkey = query_key(query)
         full_key = (qkey, states)
         with self._lock:
@@ -195,6 +218,16 @@ class PlanCache:
             self._registry = None
 
     # -- internals --------------------------------------------------------
+
+    def _tag_for(self, site: str, class_label: str) -> tuple | None:
+        """The (version, form) key component for one dependency.
+
+        ``()`` when no tag resolver is configured (pure state keying);
+        None when the resolver reports the model gone (uncacheable).
+        """
+        if self._model_tag is None:
+            return ()
+        return self._model_tag(site, class_label)
 
     def _miss(self) -> None:
         with self._lock:

@@ -145,6 +145,44 @@ def make_site(
     )
 
 
+def make_two_site_universe(
+    *,
+    names: tuple[str, str],
+    profiles: tuple[DBMSProfile, DBMSProfile],
+    seeds: tuple[int, int],
+    scale: float,
+    calm_range: tuple[float, float] | None = None,
+    environment_kind: str = "uniform",
+) -> tuple[Site, Site]:
+    """The seeded two-site universe every serving experiment builds.
+
+    The drift-detection experiment, the serving-throughput bench and the
+    loadgen shards all construct the same shape — two :func:`make_site`
+    calls differing only in names, profiles, and seed offsets, optionally
+    pinned to a calm uniform contention range before model derivation.
+    Centralizing it keeps their universes byte-identical for a given
+    (names, profiles, seeds, scale) tuple no matter which harness asks.
+    """
+    first = make_site(
+        names[0],
+        profile=profiles[0],
+        environment_kind=environment_kind,
+        scale=scale,
+        seed=seeds[0],
+    )
+    second = make_site(
+        names[1],
+        profile=profiles[1],
+        environment_kind=environment_kind,
+        scale=scale,
+        seed=seeds[1],
+    )
+    if calm_range is not None:
+        first.load_builder.uniform(*calm_range)
+        second.load_builder.uniform(*calm_range)
+    return first, second
+
+
 def paper_sites(
     environment_kind: str = "uniform", scale: float = 0.05, seed: int = 0
 ) -> tuple[Site, Site]:

@@ -130,7 +130,7 @@ class TestFilePersistence:
         path = tmp_path / "models.json"
         catalog.save_models(path)
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert "s2/G3" in payload["models"]
 
     def test_legacy_flat_payload_still_loads(self, catalog, tmp_path):

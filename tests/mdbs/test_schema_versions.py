@@ -1,0 +1,151 @@
+"""Cost-model export schema versioning: v3 round trip, v2/v1 back-compat.
+
+Schema v3 adds the pluggable model-form provenance (``model_form``,
+``online_updates``, ``update_log``).  Importers must still read the v2
+payloads shipped before the strategy layer (form defaults to the paper's
+batch OLS) and the legacy flat v1 ``{"site/label": model_dict}`` format,
+and must reject versions they do not understand.
+"""
+
+import json
+
+import pytest
+
+from repro.core.fitting import fit_qualitative
+from repro.core.model import MultiStateCostModel
+from repro.core.partition import uniform_partition
+from repro.core.strategy import DEFAULT_STRATEGY, RLSStrategy
+from repro.mdbs.catalog import (
+    MODEL_SCHEMA_VERSION,
+    SUPPORTED_MODEL_SCHEMA_VERSIONS,
+    GlobalCatalog,
+    GlobalCatalogError,
+)
+
+from ..core.synthetic import stepped_sample
+
+V3_ONLY_PROVENANCE_KEYS = ("model_form", "online_updates", "update_log")
+
+
+def make_model(label="G1", strategy=None, seed=1):
+    X, y, probing = stepped_sample(true_states=2, n=100, seed=seed)
+    fit = fit_qualitative(X, y, probing, uniform_partition(0, 1, 2), ("x",))
+    model = MultiStateCostModel.from_fit(fit, label, "unary", "iupma")
+    if strategy is not None:
+        model = strategy.finalize(model, fit)
+    return model
+
+
+def populated_catalog():
+    catalog = GlobalCatalog()
+    catalog.register_site("s1")
+    catalog.register_site("s2")
+    catalog.store_cost_model("s1", make_model("G1"))
+    catalog.store_cost_model("s1", make_model("G3", seed=4))
+    catalog.store_cost_model("s2", make_model("G1", strategy=RLSStrategy(), seed=2))
+    return catalog
+
+
+class TestV3RoundTrip:
+    def test_constants(self):
+        assert MODEL_SCHEMA_VERSION == 3
+        assert SUPPORTED_MODEL_SCHEMA_VERSIONS == (2, 3)
+
+    def test_export_import_reexport_is_identical(self):
+        catalog = populated_catalog()
+        first = catalog.export_models()
+        assert first["schema_version"] == 3
+
+        fresh = GlobalCatalog()
+        assert fresh.import_models(first) == 3
+        second = fresh.export_models()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_form_provenance_round_trips(self):
+        catalog = populated_catalog()
+        version = catalog.registry.active_version("s2", "G1")
+        catalog.registry.record_online_update(
+            "s2", "G1", version.version, {"round": 1, "error": 0.5}
+        )
+        catalog.registry.record_online_update(
+            "s2", "G1", version.version, {"round": 2, "error": 0.25}
+        )
+
+        fresh = GlobalCatalog()
+        fresh.import_models(json.loads(json.dumps(catalog.export_models())))
+        restored = fresh.registry.active_version("s2", "G1").provenance
+        assert restored.model_form == "mlr.rls"
+        assert restored.online_updates == 2
+        assert restored.update_log == (
+            {"round": 1, "error": 0.5},
+            {"round": 2, "error": 0.25},
+        )
+        # The OLS models carry the default form without metadata noise.
+        assert fresh.registry.active_version("s1", "G1").provenance.model_form == (
+            DEFAULT_STRATEGY
+        )
+
+    def test_update_log_is_capped_but_count_is_not(self):
+        catalog = populated_catalog()
+        version = catalog.registry.active_version("s2", "G1").version
+        for i in range(10):
+            catalog.registry.record_online_update(
+                "s2", "G1", version, {"round": i}, max_log=4
+            )
+        provenance = catalog.registry.active_version("s2", "G1").provenance
+        assert provenance.online_updates == 10
+        assert [e["round"] for e in provenance.update_log] == [6, 7, 8, 9]
+
+
+class TestV2BackCompat:
+    def v2_payload(self):
+        """A faithful pre-strategy export: v3 minus the form fields."""
+        payload = json.loads(json.dumps(populated_catalog().export_models()))
+        payload["schema_version"] = 2
+        for record in payload["models"].values():
+            for version in record["versions"]:
+                for key in V3_ONLY_PROVENANCE_KEYS:
+                    version["provenance"].pop(key, None)
+                version["model"].get("metadata", {}).pop("model_form", None)
+                version["model"].get("metadata", {}).pop("strategy_params", None)
+        return payload
+
+    def test_v2_imports_with_form_defaults(self):
+        fresh = GlobalCatalog()
+        assert fresh.import_models(self.v2_payload()) == 3
+        for site, label in fresh.registry.keys():
+            provenance = fresh.registry.active_version(site, label).provenance
+            assert provenance.model_form == DEFAULT_STRATEGY
+            assert provenance.online_updates == 0
+            assert provenance.update_log == ()
+
+    def test_v2_models_still_predict(self):
+        fresh = GlobalCatalog()
+        fresh.import_models(self.v2_payload())
+        model = fresh.cost_model("s1", "G1")
+        assert model.predict({"x": 10.0}, 0.5) > 0.0
+
+
+class TestV1BackCompat:
+    def test_legacy_flat_payload(self):
+        model = make_model("G1")
+        fresh = GlobalCatalog()
+        loaded = fresh.import_models(
+            json.loads(json.dumps({"s1/G1": model.to_dict()}))
+        )
+        assert loaded == 1
+        assert "s1" in fresh.sites
+        restored = fresh.cost_model("s1", "G1")
+        assert restored.predict({"x": 3.0}, 0.4) == pytest.approx(
+            model.predict({"x": 3.0}, 0.4)
+        )
+        provenance = fresh.registry.active_version("s1", "G1").provenance
+        assert provenance.model_form == DEFAULT_STRATEGY
+
+
+class TestRejection:
+    @pytest.mark.parametrize("version", [0, 1, 4, 99, "3"])
+    def test_unknown_schema_version_rejected(self, version):
+        fresh = GlobalCatalog()
+        with pytest.raises(GlobalCatalogError, match="schema_version"):
+            fresh.import_models({"schema_version": version, "models": {}})

@@ -235,3 +235,57 @@ class TestRegistryEvents:
         model = server.catalog.registry.active_model("db2_site", "G3")
         server.store_cost_model("db2_site", model)  # no longer observed
         assert len(cache) == len(entries)
+
+
+class TestModelTagKeying:
+    """The (version, form) tag: online forms change coefficients with no
+    registry event, so the tag is the only safeguard keying cached plans
+    to the exact model that scored them."""
+
+    def test_version_and_form_join_the_key(self):
+        tags = {("oracle_site", "G1"): (1, "mlr.ols")}
+        cache = PlanCache(model_tag=lambda site, label: tags.get((site, label)))
+        query = make_query()
+        plan = make_plan(query, {("oracle_site", "G1"): 0})
+        cache.put(query, [plan], plan)
+        states = resolver({("oracle_site", "G1"): 0})
+        assert cache.get(query, states) is plan
+
+        tags[("oracle_site", "G1")] = (2, "mlr.ols")  # new version
+        assert cache.get(query, states) is None
+        tags[("oracle_site", "G1")] = (1, "mlr.rls")  # same version, new form
+        assert cache.get(query, states) is None
+        tags[("oracle_site", "G1")] = (1, "mlr.ols")  # original tag again
+        assert cache.get(query, states) is plan
+
+    def test_plans_per_tag_coexist(self):
+        tags = {("oracle_site", "G1"): (1, "mlr.ols")}
+        cache = PlanCache(model_tag=lambda site, label: tags.get((site, label)))
+        query = make_query()
+        ols_plan = make_plan(query, {("oracle_site", "G1"): 0})
+        rls_plan = make_plan(query, {("oracle_site", "G1"): 0})
+        cache.put(query, [ols_plan], ols_plan)
+        tags[("oracle_site", "G1")] = (1, "mlr.rls")
+        cache.put(query, [rls_plan], rls_plan)
+        states = resolver({("oracle_site", "G1"): 0})
+        assert cache.get(query, states) is rls_plan
+        tags[("oracle_site", "G1")] = (1, "mlr.ols")
+        assert cache.get(query, states) is ols_plan
+
+    def test_missing_tag_is_uncacheable(self):
+        cache = PlanCache(model_tag=lambda site, label: None)
+        query = make_query()
+        plan = make_plan(query, {("oracle_site", "G1"): 0})
+        cache.put(query, [plan], plan)  # model vanished mid-flight
+        assert len(cache) == 0
+        assert cache.get(query, resolver({("oracle_site", "G1"): 0})) is None
+
+    def test_no_resolver_keeps_pure_state_keying(self):
+        cache = PlanCache()
+        query = make_query()
+        plan = make_plan(query, {("oracle_site", "G1"): 0})
+        cache.put(query, [plan], plan)
+        ((qkey, states),) = cache.entries()
+        # Default keys are exactly (site, label, state) — byte-identical
+        # to the pre-strategy cache.
+        assert states == (("oracle_site", "G1", 0),)
