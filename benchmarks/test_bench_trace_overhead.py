@@ -1,0 +1,72 @@
+"""Trace-overhead bench: what request tracing costs the serving path.
+
+Runs the interleaved off/sampled/full comparison of
+:mod:`repro.experiments.trace_overhead` once under pytest-benchmark,
+asserts the ISSUE acceptance guard (sampled tracing within 5% of the
+untraced QPS), and records the per-mode numbers to
+``BENCH_trace_overhead.json`` at the repo root (the CI ``trace-smoke``
+job uploads it as an artifact; EXPERIMENTS.md documents the schema).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.trace_overhead import (
+    MAX_SAMPLED_OVERHEAD_PCT,
+    render_trace_overhead,
+    render_trace_overhead_timings,
+    run_trace_overhead,
+    trace_overhead_payload,
+)
+
+from .conftest import run_once
+
+#: Override the payload destination (CI writes into the workspace root).
+_OUT_ENV = "BENCH_TRACE_OVERHEAD_OUT"
+
+
+def _payload_path() -> Path:
+    override = os.environ.get(_OUT_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_trace_overhead.json"
+
+
+def test_bench_trace_overhead(benchmark, config):
+    # Five rounds instead of the CLI default three: the min-of-rounds
+    # estimator only needs ONE calm round, and the pytest-benchmark
+    # harness is noisier than a bare CLI run.
+    result = run_once(benchmark, run_trace_overhead, config, rounds=5)
+
+    # Every mode served the whole workload; the off mode recorded no
+    # spans, the traced modes kept what their sampler decided.
+    by_name = {mode.name: mode for mode in result.modes}
+    assert set(by_name) == {"off", "sampled", "full"}
+    for mode in result.modes:
+        assert mode.completed == mode.requests == result.requests
+        assert mode.qps > 0.0
+    assert by_name["off"].spans == 0
+    assert by_name["full"].traces_kept == result.requests
+    assert by_name["full"].traces_dropped == 0
+    assert by_name["full"].spans > by_name["sampled"].spans > 0
+    # Head sampling is deterministic: the kept count is a function of
+    # the seed and the minted trace ids, not of scheduling.
+    sampled = by_name["sampled"]
+    assert sampled.traces_kept + sampled.traces_dropped == result.requests
+    assert 0 < sampled.traces_kept < result.requests
+
+    # Acceptance guard: sampled tracing costs < 5% of untraced QPS.
+    assert result.sampled_within_guard, (
+        f"sampled overhead {result.overhead_pct('sampled'):+.2f}% exceeds "
+        f"{MAX_SAMPLED_OVERHEAD_PCT:.0f}%"
+    )
+
+    payload = trace_overhead_payload(result)
+    assert payload["guard"]["ok"]
+    path = _payload_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(render_trace_overhead(result))
+    print(render_trace_overhead_timings(result))
+    print(f"payload -> {path}")

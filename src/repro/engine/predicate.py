@@ -376,9 +376,13 @@ def extract_key_range(
     high_inc = True
     for term in range_terms:
         if term.op == "=":
-            if (low is None or term.value > low) or (low == term.value and not low_inc):
+            # An equality is >=v AND <=v: tighten each side the way
+            # those operators would.  It must never *loosen* an
+            # exclusive bound at the same key — ``a<1 AND a=1`` is the
+            # empty range [1, 1), not the point [1, 1].
+            if low is None or term.value > low:
                 low, low_inc = term.value, True
-            if high is None or term.value < high or (high == term.value and not high_inc):
+            if high is None or term.value < high:
                 high, high_inc = term.value, True
         elif term.op in (">", ">="):
             inc = term.op == ">="

@@ -85,6 +85,12 @@ from .serving_throughput import (
     serving_throughput_payload,
 )
 from .states_ablation import render_states_ablation, run_states_ablation
+from .trace_overhead import (
+    render_trace_overhead,
+    render_trace_overhead_timings,
+    run_trace_overhead,
+    trace_overhead_payload,
+)
 from .table4 import render_table4, run_table4
 from .table5 import render_table5, run_table5, shape_violations
 from .table6 import render_figure10, render_table6, run_table6
@@ -206,6 +212,9 @@ LAST_LOADGEN_RESULT = None
 #: The most recent model-race result (for ``--model-race-out``).
 LAST_MODEL_RACE_RESULT = None
 
+#: The most recent trace-overhead result (for ``--trace-overhead-out``).
+LAST_TRACE_OVERHEAD_RESULT = None
+
 
 def _bench_engine_hotpaths(config) -> None:
     global LAST_ENGINE_RESULT
@@ -217,8 +226,9 @@ def _bench_engine_hotpaths(config) -> None:
     _note(render_engine_timings(result))
 
 
-#: ``--workers`` / ``--fault-plan`` for the loadgen bench (set by main).
-_LOADGEN_OPTIONS = {"workers": None, "fault_plan": "mixed"}
+#: ``--workers`` / ``--fault-plan`` / ``--trace-sample-rate`` for the
+#: loadgen bench (set by main).
+_LOADGEN_OPTIONS = {"workers": None, "fault_plan": "mixed", "trace_sample_rate": 0.0}
 
 
 def _bench_loadgen_scale(config) -> None:
@@ -228,6 +238,7 @@ def _bench_loadgen_scale(config) -> None:
         config,
         workers=_LOADGEN_OPTIONS["workers"],
         fault_plan=_LOADGEN_OPTIONS["fault_plan"],
+        trace_sample_rate=_LOADGEN_OPTIONS["trace_sample_rate"],
     )
     LAST_LOADGEN_RESULT = result
     # The aggregate is worker-count invariant; QPS/wall latency are not.
@@ -256,6 +267,16 @@ def _bench_model_race(config) -> None:
     _note(render_race_timings(result))
 
 
+def _bench_trace_overhead(config) -> None:
+    global LAST_TRACE_OVERHEAD_RESULT
+    _banner("Tracing: QPS cost of off vs sampled vs full request tracing")
+    result = run_trace_overhead(config)
+    LAST_TRACE_OVERHEAD_RESULT = result
+    # Counts are deterministic; QPS and the overhead guard go to stderr.
+    print(render_trace_overhead(result))
+    _note(render_trace_overhead_timings(result))
+
+
 #: Bench registry, in print order.  Names are the ``--only`` vocabulary.
 BENCHES: tuple[tuple[str, object], ...] = (
     ("figure1", _bench_figure1),
@@ -274,6 +295,7 @@ BENCHES: tuple[tuple[str, object], ...] = (
     ("engine_hotpaths", _bench_engine_hotpaths),
     ("loadgen_scale", _bench_loadgen_scale),
     ("model_race", _bench_model_race),
+    ("trace_overhead", _bench_trace_overhead),
 )
 
 
@@ -397,6 +419,34 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "per-shard trace sampling rate for loadgen_scale "
+            "(0 disables tracing, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--loadgen-trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the loadgen_scale merged trace (JSONL, first rung) at "
+            "exit; requires --trace-sample-rate > 0"
+        ),
+    )
+    parser.add_argument(
+        "--trace-overhead-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the trace-overhead JSON payload (off/sampled/full QPS, "
+            "BENCH_trace_overhead.json schema) at exit"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print the span summary table and metrics at the end",
@@ -408,8 +458,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        parser.error("--trace-sample-rate must be within [0, 1]")
+    if args.loadgen_trace_out and args.trace_sample_rate <= 0.0:
+        parser.error("--loadgen-trace-out requires --trace-sample-rate > 0")
     _LOADGEN_OPTIONS["workers"] = args.workers
     _LOADGEN_OPTIONS["fault_plan"] = args.fault_plan
+    _LOADGEN_OPTIONS["trace_sample_rate"] = args.trace_sample_rate
     preset = "full" if args.full else (args.preset or "quick")
     make_config = _PRESETS[preset]
     config = make_config(args.seed) if args.seed is not None else make_config()
@@ -422,6 +477,8 @@ def main(argv: list[str] | None = None) -> int:
         ("--engine-bench-out", args.engine_bench_out),
         ("--loadgen-bench-out", args.loadgen_bench_out),
         ("--model-race-out", args.model_race_out),
+        ("--loadgen-trace-out", args.loadgen_trace_out),
+        ("--trace-overhead-out", args.trace_overhead_out),
     ):
         if not path:
             continue
@@ -534,6 +591,36 @@ def main(argv: list[str] | None = None) -> int:
                         indent=2,
                     )
                 _note(f"wrote model race payload to {args.model_race_out}")
+        if args.loadgen_trace_out:
+            if LAST_LOADGEN_RESULT is None:
+                _note(
+                    "--loadgen-trace-out: loadgen_scale did not run; "
+                    "writing nothing"
+                )
+            else:
+                count = LAST_LOADGEN_RESULT.reports[0].write_merged_trace(
+                    args.loadgen_trace_out
+                )
+                _note(
+                    f"wrote {count} merged trace spans to "
+                    f"{args.loadgen_trace_out}"
+                )
+        if args.trace_overhead_out:
+            if LAST_TRACE_OVERHEAD_RESULT is None:
+                _note(
+                    "--trace-overhead-out: trace_overhead did not run; "
+                    "writing nothing"
+                )
+            else:
+                with open(args.trace_overhead_out, "w") as handle:
+                    json.dump(
+                        trace_overhead_payload(LAST_TRACE_OVERHEAD_RESULT),
+                        handle,
+                        indent=2,
+                    )
+                _note(
+                    f"wrote trace overhead payload to {args.trace_overhead_out}"
+                )
         if tracer is not None:
             if args.trace_out:
                 count = obs.write_jsonl(tracer, args.trace_out)

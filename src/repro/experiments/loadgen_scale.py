@@ -20,7 +20,7 @@ What each side of the output carries:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..loadgen import (
     Coordinator,
@@ -51,6 +51,16 @@ class LoadGenScaleResult:
         """True iff every rung's aggregate JSON is byte-identical."""
         payloads = {r.deterministic_payload() for r in self.reports}
         return len(payloads) == 1
+
+    @property
+    def traced(self) -> bool:
+        return self.config.trace_sample_rate > 0.0
+
+    @property
+    def trace_deterministic(self) -> bool:
+        """True iff every rung's merged trace JSONL is byte-identical."""
+        traces = {r.merged_trace() for r in self.reports}
+        return len(traces) == 1
 
     def aggregate(self) -> dict:
         """The (worker-count invariant) aggregate, from the first rung."""
@@ -98,12 +108,15 @@ def run_loadgen_scale(
     fault_plan: str = "mixed",
     shards: int | None = None,
     rounds: int | None = None,
+    trace_sample_rate: float = 0.0,
 ) -> LoadGenScaleResult:
     """Train once, then run the identical shard list at every rung."""
     config = config or ExperimentConfig()
     lg_config = default_loadgen_config(
         config, fault_plan=fault_plan, shards=shards, rounds=rounds
     )
+    if trace_sample_rate > 0.0:
+        lg_config = replace(lg_config, trace_sample_rate=trace_sample_rate)
     coordinator = Coordinator(lg_config)
     coordinator.train()
     result = LoadGenScaleResult(config=lg_config, fault_plan=fault_plan)
@@ -168,6 +181,16 @@ def render_loadgen_scale(result: LoadGenScaleResult) -> str:
     verdict = "byte-identical" if result.deterministic else "DIVERGED"
     rungs = ", ".join(str(r.workers) for r in result.reports)
     lines.append(f"aggregates across workers [{rungs}]: {verdict}")
+    if result.traced:
+        stats = result.reports[0].trace_stats()
+        trace_verdict = (
+            "byte-identical" if result.trace_deterministic else "DIVERGED"
+        )
+        lines.append(
+            f"traces: sampled {stats['sampled']}  "
+            f"dropped {stats['dropped']}  spans {stats['spans']}  "
+            f"merged trace across workers [{rungs}]: {trace_verdict}"
+        )
     return "\n".join(lines)
 
 
@@ -191,8 +214,13 @@ def render_loadgen_timings(result: LoadGenScaleResult) -> str:
 
 
 def loadgen_scale_payload(result: LoadGenScaleResult) -> dict:
-    """The ``BENCH_loadgen_scale.json`` payload (see EXPERIMENTS.md)."""
-    return {
+    """The ``BENCH_loadgen_scale.json`` payload (see EXPERIMENTS.md).
+
+    The ``trace`` section only appears when the run sampled traces
+    (``trace_sample_rate > 0``), so the committed tracing-off payload
+    keeps its original key set.
+    """
+    payload = {
         "bench": "loadgen_scale",
         "schema_version": BENCH_SCHEMA_VERSION,
         "shards": result.config.shards,
@@ -210,3 +238,10 @@ def loadgen_scale_payload(result: LoadGenScaleResult) -> dict:
             for report in result.reports
         ],
     }
+    if result.traced:
+        payload["trace"] = {
+            "sample_rate": result.config.trace_sample_rate,
+            **result.reports[0].trace_stats(),
+            "deterministic_across_workers": result.trace_deterministic,
+        }
+    return payload

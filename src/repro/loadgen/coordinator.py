@@ -21,9 +21,11 @@ The coordinator owns the three phases of a run:
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core.strategy import DEFAULT_STRATEGY
 from ..experiments.config import ExperimentConfig
@@ -58,6 +60,10 @@ class LoadGenConfig:
     #: training); a mix like ``("mlr.ols", "mlr.rls")`` races forms
     #: across the fleet.
     strategy_mix: tuple[str, ...] = (DEFAULT_STRATEGY,)
+    #: Per-shard trace sampling rate (0 = tracing off, the pre-tracing
+    #: behavior).  Sampling is deterministic per trace id, so the merged
+    #: trace is byte-identical at any worker count.
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -68,6 +74,8 @@ class LoadGenConfig:
             raise ValueError("scenario_mix must name at least one scenario")
         if not self.strategy_mix:
             raise ValueError("strategy_mix must name at least one strategy")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
 
     def scenario_for(self, shard: int) -> str:
         return self.scenario_mix[shard % len(self.scenario_mix)]
@@ -95,6 +103,7 @@ class LoadGenConfig:
                 faults=self.faults.for_shard(index),
                 queries_per_round=self.queries_per_round,
                 strategy=self.strategy_for(index),
+                trace_sample_rate=self.trace_sample_rate,
             )
             for index in range(self.shards)
         ]
@@ -139,6 +148,33 @@ class LoadGenReport:
 
     def deterministic_payload(self) -> str:
         return deterministic_json(self.aggregate())
+
+    def merged_trace(self) -> str:
+        """Every shard's sampled spans as one JSONL document.
+
+        Shards merge in index order and each span renders as canonical
+        JSON (sorted keys, compact separators), so the merged trace is
+        byte-identical at any ``--workers`` count — the same determinism
+        contract as :meth:`deterministic_payload`.
+        """
+        lines = []
+        for report in self.shard_reports:  # already in index order
+            for span in report.trace_spans:
+                lines.append(json.dumps(span, sort_keys=True, separators=(",", ":")))
+        return "".join(line + "\n" for line in lines)
+
+    def write_merged_trace(self, path: str | Path) -> int:
+        """Write :meth:`merged_trace` to *path*; returns the span count."""
+        Path(path).write_text(self.merged_trace(), encoding="utf-8")
+        return sum(len(r.trace_spans) for r in self.shard_reports)
+
+    def trace_stats(self) -> dict:
+        """Fleet-wide tracing health (deterministic)."""
+        return {
+            "sampled": sum(r.trace_sampled for r in self.shard_reports),
+            "dropped": sum(r.trace_dropped for r in self.shard_reports),
+            "spans": sum(len(r.trace_spans) for r in self.shard_reports),
+        }
 
     def wall_stats(self) -> dict:
         """Real wall-clock throughput/latency (NOT deterministic)."""

@@ -30,9 +30,12 @@ repeating the coordinator's initial derivation in every worker.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
+
+from .. import obs
 
 from ..core.builder import BuilderConfig, CostModelBuilder
 from ..core.classification import G1, G3
@@ -139,6 +142,9 @@ class ShardTask:
     queries_per_round: int = 3
     #: Model-form strategy this shard serves and rebuilds with.
     strategy: str = DEFAULT_STRATEGY
+    #: Fraction of traces kept by the shard's deterministic sampler;
+    #: 0 (the default) disables tracing entirely — the pre-tracing path.
+    trace_sample_rate: float = 0.0
 
 
 @dataclass
@@ -193,12 +199,22 @@ class ShardReport:
     fault_log: list[tuple] = field(default_factory=list)
     models_imported: int = 0
     wall_seconds: float = 0.0
+    #: Sampled span dicts (simulated-clock, shard-local span ids) —
+    #: a pure function of the task, like the rest of the report, but
+    #: excluded from ``deterministic_dict`` so committed bench payloads
+    #: predating tracing stay schema-identical.
+    trace_spans: list[dict] = field(default_factory=list)
+    trace_sampled: int = 0
+    trace_dropped: int = 0
 
     def deterministic_dict(self) -> dict:
         """The shard's report minus every wall-clock field."""
         payload = asdict(self)
         payload.pop("wall_latencies")
         payload.pop("wall_seconds")
+        payload.pop("trace_spans")
+        payload.pop("trace_sampled")
+        payload.pop("trace_dropped")
         return payload
 
 
@@ -371,8 +387,21 @@ def run_shard(task: ShardTask, payload: dict) -> ShardReport:
         queue_depth=max(16, task.queries_per_round * 2),
         admission_policy="block",
         plan_cache=True,
+        trace_sample_rate=task.trace_sample_rate,
+        trace_seed=stable_seed(config.seed, "loadgen/trace"),
+        trace_id_prefix=f"s{task.index:03d}-",
     )
-    with ServingFrontEnd(server, serving) as frontend:
+    tracer: obs.Tracer | None = None
+    scope = ExitStack()
+    if task.trace_sample_rate > 0.0:
+        # Spans clock on the shard's *simulated* time with shard-local
+        # span ids, so the exported spans — like the rest of the report
+        # — are a pure function of (task, payload), whatever process or
+        # worker count runs the shard.
+        tracer = scope.enter_context(
+            obs.recording(clock=lambda: var.environment.now, local_ids=True)
+        )
+    with scope, ServingFrontEnd(server, serving) as frontend:
         for r in range(task.rounds):
             current_round[0] = r
             var.environment.advance(task.gap_seconds)
@@ -441,6 +470,14 @@ def run_shard(task: ShardTask, payload: dict) -> ShardReport:
     }
     report.probes_executed = dict(sorted(server.probing.probes_executed.items()))
     report.accuracy = tracker.snapshot()
+    if tracer is not None:
+        report.trace_spans = [
+            obs.span_to_dict(s)
+            for s in sorted(tracer.finished(), key=lambda s: s.span_id)
+            if s.trace_id is not None
+        ]
+        report.trace_sampled = frontend.sampler.sampled
+        report.trace_dropped = frontend.sampler.dropped
     report.fault_log = [
         (round(at, 6), note) for at, note in injector.transitions
     ]

@@ -126,7 +126,11 @@ class ProbingService:
             self.cache_hits += 1
             obs.inc("mdbs.probing.cache_hits")
             return reading
-        with self._site_lock(site):
+        # The span opens *before* the lock: its duration includes any
+        # single-flight wait, so traces attribute time blocked behind
+        # another request's probe as probe time (outcome says which).
+        # The lock-free fresh-cache fast path above stays span-free.
+        with obs.span("mdbs.probe.service", site=site) as sp, self._site_lock(site):
             now = agent.database.environment.now
             cached = self._cache.get(site)
             reading = self._fresh(cached, now)
@@ -138,9 +142,19 @@ class ProbingService:
                 if cached is not before:
                     self.coalesced += 1
                     obs.inc("mdbs.probing.coalesced")
+                    if sp.recording:
+                        sp.set_attributes(outcome="coalesced")
+                elif sp.recording:
+                    sp.set_attributes(outcome="cached")
+                if sp.recording:
+                    sp.set_attributes(source=reading.source, cost=reading.cost)
                 return reading
             obs.inc("mdbs.probing.cache_misses")
             reading = self._acquire(agent, now, prefer_estimated)
+            if sp.recording:
+                sp.set_attributes(
+                    outcome="executed", source=reading.source, cost=reading.cost
+                )
             if reading.cost is not None:
                 self._cache[site] = reading
             obs.set_gauge("mdbs.probing.cache_size", len(self._cache))

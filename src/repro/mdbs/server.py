@@ -60,6 +60,12 @@ _TEMP_LEFT = "_g_left"
 _TEMP_RIGHT = "_g_right"
 
 
+def _estimate_at(plan: GlobalPlan, index: int) -> CostEstimate | None:
+    """The plan component estimate a step at *index* realizes, if any."""
+    estimates = plan.estimates
+    return estimates[index] if index < len(estimates) else None
+
+
 @dataclass
 class StepTiming:
     """Observed elapsed time of one plan step."""
@@ -406,42 +412,62 @@ class MDBSServer:
         and is skipped.  Plan-level error goes to a registry histogram —
         it aggregates several models, so it has no (site, class, state)
         window of its own.
+
+        When the call runs under a traced request, the current trace id
+        rides along: each sample lands in the tracker *linked* to its
+        trace (so out-of-band samples flag the trace for keeping and the
+        worst exemplars point back at it), and the plan-level error
+        histogram records the trace id as its exemplar.
         """
-        if len(plan.estimates) != len(execution.steps):
-            return
-        for estimate, step in zip(plan.estimates, execution.steps):
-            if estimate.class_label is None or estimate.site is None:
-                continue
-            if estimate.state is None:
-                continue
-            agent = self.agents[estimate.site]
-            state_key: int | tuple = estimate.state
-            hit_state = agent.buffer_hit_state()
-            if hit_state is not None:
-                # Sites simulating a memory hierarchy key their accuracy
-                # windows on the composite (contention, buffer-hit) state,
-                # so drift in either qualitative variable is visible.
-                state_key = (estimate.state, hit_state)
-            self.accuracy.record(
-                estimate.site,
-                estimate.class_label,
-                state_key,
-                predicted=estimate.seconds,
-                actual=step.seconds,
-                at_time=agent.database.environment.now,
-            )
-            # The same (estimate, observation) pair the tracker windows
-            # is what online model forms learn from: RLS/SGD models fold
-            # it into their coefficients right here, per served query.
-            self._online_update(
-                estimate, step.seconds, at_time=agent.database.environment.now
-            )
-        observed = execution.observed_seconds
-        if observed > 0.0:
-            obs.observe(
-                "mdbs.plan.rel_error",
-                abs(execution.estimated_seconds - observed) / observed,
-            )
+        with obs.span("mdbs.accuracy") as sp:
+            trace_id = obs.current_trace_id()
+            recorded = 0
+            states: list[str] = []
+            if len(plan.estimates) == len(execution.steps):
+                for estimate, step in zip(plan.estimates, execution.steps):
+                    if estimate.class_label is None or estimate.site is None:
+                        continue
+                    if estimate.state is None:
+                        continue
+                    agent = self.agents[estimate.site]
+                    state_key: int | tuple = estimate.state
+                    hit_state = agent.buffer_hit_state()
+                    if hit_state is not None:
+                        # Sites simulating a memory hierarchy key their
+                        # accuracy windows on the composite (contention,
+                        # buffer-hit) state, so drift in either
+                        # qualitative variable is visible.
+                        state_key = (estimate.state, hit_state)
+                    self.accuracy.record(
+                        estimate.site,
+                        estimate.class_label,
+                        state_key,
+                        predicted=estimate.seconds,
+                        actual=step.seconds,
+                        at_time=agent.database.environment.now,
+                        trace_id=trace_id,
+                    )
+                    recorded += 1
+                    if sp.recording:
+                        states.append(
+                            f"{estimate.site}/{estimate.class_label}={state_key}"
+                        )
+                    # The same (estimate, observation) pair the tracker
+                    # windows is what online model forms learn from:
+                    # RLS/SGD models fold it into their coefficients
+                    # right here, per served query.
+                    self._online_update(
+                        estimate, step.seconds, at_time=agent.database.environment.now
+                    )
+            observed = execution.observed_seconds
+            if observed > 0.0:
+                obs.observe(
+                    "mdbs.plan.rel_error",
+                    abs(execution.estimated_seconds - observed) / observed,
+                    exemplar=trace_id,
+                )
+            if sp.recording:
+                sp.set_attributes(samples=recorded, states=",".join(states))
 
     def model_tag(self, site: str, class_label: str) -> tuple | None:
         """(version, model form) of the active model for (site, class).
@@ -528,6 +554,7 @@ class MDBSServer:
                 sp,
                 f"select {query.left_table} at {query.left_site}",
                 left_result.elapsed,
+                _estimate_at(plan, 0),
             )
         with obs.span("mdbs.step.select", site=query.right_site) as sp:
             right_result = right_agent.execute(components.right)
@@ -536,6 +563,7 @@ class MDBSServer:
                 sp,
                 f"select {query.right_table} at {query.right_site}",
                 right_result.elapsed,
+                _estimate_at(plan, 1),
             )
 
         if plan.join_site == "right":
@@ -549,6 +577,7 @@ class MDBSServer:
                 sp,
                 f"ship {shipped.result.cardinality} tuples to {join_agent.site}",
                 transfer,
+                _estimate_at(plan, 2),
             )
 
         left_facts = self.catalog.table(query.left_site, query.left_table)
@@ -573,7 +602,11 @@ class MDBSServer:
             with obs.span("mdbs.step.join", site=join_agent.site) as sp:
                 join_result = join_agent.execute(join_query)
                 self._record_step(
-                    steps, sp, f"join at {join_agent.site}", join_result.elapsed
+                    steps,
+                    sp,
+                    f"join at {join_agent.site}",
+                    join_result.elapsed,
+                    _estimate_at(plan, 3),
                 )
             column_names, rows = self._project_output(
                 query, components, join_result
@@ -588,17 +621,28 @@ class MDBSServer:
 
     @staticmethod
     def _record_step(
-        steps: list[StepTiming], span, description: str, seconds: float
+        steps: list[StepTiming],
+        span,
+        description: str,
+        seconds: float,
+        estimate: CostEstimate | None = None,
     ) -> None:
         """One plan step: a StepTiming for callers, span attributes for
         the trace, and a histogram point for the registry.
 
         The span's own duration is real wall-clock work; *seconds* is the
         step's *simulated* elapsed time (what the cost models predict).
+        *estimate* is the plan component the step realizes — its
+        estimated seconds and contention state land on the span, so a
+        trace shows estimate-vs-actual per step, not just per plan.
         """
         steps.append(StepTiming(description, seconds))
         if span.recording:
             span.set_attributes(description=description, simulated_seconds=seconds)
+            if estimate is not None:
+                span.set_attribute("estimated_seconds", estimate.seconds)
+                if estimate.state is not None:
+                    span.set_attribute("state", estimate.state)
         obs.observe("mdbs.step_seconds", seconds)
 
     def _project_output(self, query, components, join_result):

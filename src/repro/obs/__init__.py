@@ -41,6 +41,8 @@ from __future__ import annotations
 
 from .export import (
     metrics_table,
+    read_jsonl,
+    span_from_dict,
     span_to_dict,
     summary_table,
     to_jsonl,
@@ -78,12 +80,27 @@ from .quality import (
     merge_window_stats,
     set_tracker,
 )
+from .trace_analysis import (
+    group_traces,
+    load_trace_file,
+    render_slowest_table,
+    render_stage_breakdown,
+    render_trace_report,
+    render_trace_tree,
+    slowest_traces,
+    stage_breakdown,
+    trace_stage_seconds,
+    trace_tree_lines,
+)
 from .tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
     NoopTracer,
     Span,
+    TraceContext,
     Tracer,
+    TraceSampler,
+    current_trace_id,
     disable,
     enable,
     enabled,
@@ -96,11 +113,14 @@ from .tracing import (
 __all__ = [
     # tracing
     "Span",
+    "TraceContext",
     "Tracer",
+    "TraceSampler",
     "NoopTracer",
     "NOOP_SPAN",
     "NOOP_TRACER",
     "span",
+    "current_trace_id",
     "get_tracer",
     "set_tracer",
     "enable",
@@ -132,11 +152,24 @@ __all__ = [
     "set_tracker",
     # export
     "span_to_dict",
+    "span_from_dict",
     "to_jsonl",
     "write_jsonl",
+    "read_jsonl",
     "summary_table",
     "metrics_table",
     "tree_lines",
+    # trace analysis
+    "group_traces",
+    "load_trace_file",
+    "render_slowest_table",
+    "render_stage_breakdown",
+    "render_trace_report",
+    "render_trace_tree",
+    "slowest_traces",
+    "stage_breakdown",
+    "trace_stage_seconds",
+    "trace_tree_lines",
     # expose
     "drift_events_to_jsonl",
     "read_snapshot",
@@ -153,9 +186,13 @@ def inc(name: str, amount: float = 1.0) -> None:
     get_registry().inc(name, amount)
 
 
-def observe(name: str, value: float) -> None:
-    """Record a value into a histogram in the global registry."""
-    get_registry().observe(name, value)
+def observe(name: str, value: float, exemplar: str | None = None) -> None:
+    """Record a value into a histogram in the global registry.
+
+    *exemplar* (a trace id) links the observation to its trace; the
+    histogram keeps the links for its largest-valued observations.
+    """
+    get_registry().observe(name, value, exemplar=exemplar)
 
 
 def set_gauge(name: str, value: float) -> None:

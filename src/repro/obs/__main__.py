@@ -5,12 +5,18 @@ Usage::
     python -m repro.obs --snapshot obs-snapshot.json
     python -m repro.obs --snapshot obs-snapshot.json --format prom
     python -m repro.obs --snapshot obs-snapshot.json --watch 2
+    python -m repro.obs trace merged-trace.jsonl --slowest 5
+    python -m repro.obs trace merged-trace.jsonl --tree s000-q000003
 
 Snapshot files are written by :func:`repro.obs.expose.write_snapshot` —
 ``python -m repro.experiments --snapshot-out PATH`` produces one at the
 end of a run, and a long-running simulation can rewrite the file
 periodically; ``--watch N`` then re-reads and re-renders it every N
 seconds, turning the snapshot file into a live one-screen dashboard.
+
+The ``trace`` subcommand reads a (possibly coordinator-merged) span
+JSONL file and prints the per-stage critical-path breakdown, the
+slowest-N trace table, and one expanded span tree.
 """
 
 from __future__ import annotations
@@ -20,8 +26,43 @@ import sys
 import time
 
 from .expose import read_snapshot, render_dashboard, render_text
+from .trace_analysis import load_trace_file, render_trace_report
 
 FORMATS = ("dashboard", "prom")
+
+
+def trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs trace",
+        description="Analyze a span JSONL trace file (single-run or "
+        "coordinator-merged): stage breakdown, slowest traces, span tree.",
+    )
+    parser.add_argument("file", metavar="TRACE_JSONL", help="span JSONL file")
+    parser.add_argument(
+        "--slowest",
+        type=int,
+        metavar="N",
+        default=5,
+        help="rows in the slowest-traces table (default 5)",
+    )
+    parser.add_argument(
+        "--tree",
+        metavar="TRACE_ID",
+        default=None,
+        help="expand this trace's span tree (default: the slowest trace)",
+    )
+    args = parser.parse_args(argv)
+    if args.slowest <= 0:
+        parser.error("--slowest must be positive")
+    try:
+        spans = load_trace_file(args.file)
+    except (OSError, ValueError) as exc:
+        parser.error(f"{args.file}: {exc}")
+    try:
+        print(render_trace_report(spans, slowest=args.slowest, tree=args.tree))
+    except BrokenPipeError:
+        return 0
+    return 0
 
 
 def render(payload: dict, fmt: str) -> str:
@@ -31,6 +72,9 @@ def render(payload: dict, fmt: str) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
     parser.add_argument(
         "--snapshot",

@@ -34,12 +34,38 @@ def span_to_dict(span: Span) -> dict[str, Any]:
         "name": span.name,
         "span_id": span.span_id,
         "parent_id": span.parent_id,
+        "trace_id": span.trace_id,
         "start": span.start,
         "end": span.end,
         "duration": span.duration,
         "thread": span.thread,
         "attributes": dict(span.attributes),
     }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` from its :func:`span_to_dict` form."""
+    return Span(
+        name=data["name"],
+        attributes=dict(data.get("attributes", {})),
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        trace_id=data.get("trace_id"),
+        start=data.get("start", 0.0),
+        end=data.get("end"),
+        thread=data.get("thread", ""),
+    )
+
+
+def read_jsonl(path: str | Path) -> list[Span]:
+    """Load a JSONL trace dump back into spans (inverse of
+    :func:`write_jsonl`)."""
+    spans = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            spans.append(span_from_dict(json.loads(line)))
+    return spans
 
 
 def to_jsonl(source: Tracer | Iterable[Span]) -> str:

@@ -125,7 +125,11 @@ class Histogram:
     """
 
     __slots__ = ("name", "reservoir_size", "_count", "_sum", "_min", "_max",
-                 "_reservoir", "_rng", "_lock")
+                 "_reservoir", "_rng", "_lock", "_exemplars")
+
+    #: How many (value, exemplar) links a histogram retains — the
+    #: worst-valued observations keep their trace ids for drill-down.
+    EXEMPLAR_SLOTS = 4
 
     def __init__(self, name: str, reservoir_size: int = 4096) -> None:
         if reservoir_size <= 0:
@@ -139,8 +143,9 @@ class Histogram:
         self._reservoir: list[float] = []
         self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
+        self._exemplars: list[tuple[float, str]] = []
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         with self._lock:
             self._count += 1
@@ -155,6 +160,26 @@ class Histogram:
                 slot = self._rng.randrange(self._count)
                 if slot < self.reservoir_size:
                     self._reservoir[slot] = value
+            if exemplar is not None:
+                exemplars = self._exemplars
+                # Fast path: once full, the list is sorted largest
+                # first, so a value at or under the smallest retained
+                # one could never survive the sort-and-truncate (ties
+                # keep the earliest link) — skip the append entirely.
+                if (
+                    len(exemplars) < self.EXEMPLAR_SLOTS
+                    or value > exemplars[-1][0]
+                ):
+                    exemplars.append((value, exemplar))
+                    if len(exemplars) > self.EXEMPLAR_SLOTS:
+                        # Keep the largest values; ties keep the earliest.
+                        exemplars.sort(key=lambda pair: -pair[0])
+                        del exemplars[self.EXEMPLAR_SLOTS:]
+
+    def exemplars(self) -> list[tuple[float, str]]:
+        """The retained (value, trace id) links, largest value first."""
+        with self._lock:
+            return sorted(self._exemplars, key=lambda pair: -pair[0])
 
     @property
     def count(self) -> int:
@@ -239,8 +264,10 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).record(value)
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None
+    ) -> None:
+        self.histogram(name).record(value, exemplar=exemplar)
 
     # -- inspection -------------------------------------------------------
 
@@ -305,6 +332,12 @@ class MetricsRegistry:
                 }
                 if metric.count:
                     entry["p50"], entry["p95"] = metric.quantiles((0.5, 0.95))
+                links = metric.exemplars()
+                if links:
+                    entry["exemplars"] = [
+                        {"value": value, "trace_id": trace_id}
+                        for value, trace_id in links
+                    ]
                 out[name] = entry
         return out
 

@@ -29,7 +29,7 @@ test pins the two modules together.
 from __future__ import annotations
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, NamedTuple
 
@@ -266,10 +266,26 @@ class AccuracyTracker:
     can notice the probing distribution escaping a model's partitioned
     [Cmin, Cmax] range before the accuracy windows fill with misses.
 
+    When recordings carry a *trace_id*, the tracker keeps two kinds of
+    exemplar links back into the tracing layer: the **worst** few
+    (relative error, trace id) pairs per (site, class), which drift
+    events embed so a postmortem starts from a concrete span tree, and a
+    bounded set of **flagged** trace ids — traces whose out-of-band
+    sample won one of those worst-error slots, which the serving front
+    end force-keeps through sampling.  A sample flags exactly when it
+    wins a slot, so every exemplar's trace was kept by the sampler, and
+    a healthy (or merely *consistently* bad) steady state flags almost
+    nothing.
+
     ``metric_prefix`` names the gauges/histograms exported into the
     global metrics registry on every recording; pass ``export=False``
     to keep a tracker private (e.g. inside tests).
     """
+
+    #: Worst (rel_error, trace_id) links retained per (site, class).
+    EXEMPLAR_SLOTS = 4
+    #: Bound on the flagged-trace set (oldest flags age out first).
+    FLAGGED_CAPACITY = 256
 
     def __init__(
         self,
@@ -287,6 +303,10 @@ class AccuracyTracker:
         self._state_windows: dict[tuple, AccuracyWindow] = {}
         self._class_windows: dict[tuple[str, str], AccuracyWindow] = {}
         self._probes: dict[str, deque[tuple[float, float]]] = {}
+        #: Trace ids of recent exemplar-slot winners (insertion-ordered).
+        self._flagged: OrderedDict[str, None] = OrderedDict()
+        #: Worst (relative_error, trace_id) links per (site, class).
+        self._exemplars: dict[tuple[str, str], list[tuple[float, str]]] = {}
         #: Structured drift events raised against this tracker's windows
         #: (appended by the maintenance layer), newest last.
         self.drift_events: list[DriftEvent] = []
@@ -301,6 +321,7 @@ class AccuracyTracker:
         predicted: float,
         actual: float,
         at_time: float = 0.0,
+        trace_id: str | None = None,
     ) -> AccuracySample:
         """Check one cost estimate against its observed outcome.
 
@@ -308,6 +329,10 @@ class AccuracyTracker:
         ``(contention_state, buffer_hit_state)`` tuple at sites that
         track the buffer-hit qualitative variable — any hashable key
         works; rendering and sorting handle both shapes.
+
+        *trace_id* links the sample back to its request trace: the
+        worst per-class out-of-band errors retain their trace ids as
+        exemplars and flag the trace so sampling keeps it.
         """
         # Classify once; both windows share the frozen sample.
         sample = AccuracySample.make(predicted, actual, at_time)
@@ -322,6 +347,43 @@ class AccuracyTracker:
                 self._class_windows[(site, class_label)] = class_window
             state_window.push(sample)
             class_window.push(sample)
+            if trace_id is not None and not sample.good:
+                # Out-of-band samples compete for the worst-error
+                # exemplar slots; only samples that *win a slot* flag
+                # their trace.  In the steady state — even a chronically
+                # misestimated workload — the slots converge and almost
+                # nothing flags, so force-keeps stay rare instead of
+                # flooding the sampler with stub traces; and because
+                # every exemplar's trace was flagged at the moment it
+                # won its slot, exemplar links always resolve to
+                # retained spans.
+                links = self._exemplars.setdefault((site, class_label), [])
+                # Fast path for the serving flood: a full exemplar list
+                # whose smallest retained error already beats this
+                # sample needs no scan/sort (links stay sorted worst
+                # first, so links[-1] is the cutoff; a trace already
+                # holding a slot has err >= cutoff, so a sample at or
+                # under the cutoff could never raise it).
+                if (
+                    len(links) < self.EXEMPLAR_SLOTS
+                    or sample.relative_error > links[-1][0]
+                ):
+                    for i, (err, tid) in enumerate(links):
+                        if tid == trace_id:
+                            # One slot per trace; keep its worst step.
+                            if sample.relative_error > err:
+                                links[i] = (sample.relative_error, trace_id)
+                            break
+                    else:
+                        links.append((sample.relative_error, trace_id))
+                    # Keep the worst errors; ties keep the smaller id.
+                    links.sort(key=lambda pair: (-pair[0], pair[1]))
+                    del links[self.EXEMPLAR_SLOTS:]
+                    if trace_id not in self._flagged:
+                        # Eviction is insertion-ordered (oldest first).
+                        self._flagged[trace_id] = None
+                        while len(self._flagged) > self.FLAGGED_CAPACITY:
+                            self._flagged.popitem(last=False)
             if self.export:
                 stats = class_window.stats()
         if self.export:
@@ -379,6 +441,25 @@ class AccuracyTracker:
         with self._lock:
             return list(self._probes.get(site, ()))
 
+    def is_flagged(self, trace_id: str | None) -> bool:
+        """Did any recent out-of-band sample come from *trace_id*?
+
+        Lock-free on purpose: dict membership is atomic under the GIL,
+        the serving front end asks once per finished request, and a
+        request's own flags are set earlier on the same thread — a
+        racing *other* thread's flag arriving a beat late only changes
+        which already-borderline trace gets force-kept.
+        """
+        if trace_id is None:
+            return False
+        return trace_id in self._flagged
+
+    def exemplar_trace_ids(self, site: str, class_label: str) -> list[str]:
+        """Worst-error trace ids for one (site, class), worst first."""
+        with self._lock:
+            links = self._exemplars.get((site, class_label), ())
+            return [trace_id for _, trace_id in links]
+
     def sample_count(self) -> int:
         with self._lock:
             return sum(len(w) for w in self._class_windows.values())
@@ -405,6 +486,11 @@ class AccuracyTracker:
             self._class_windows = {
                 k: w for k, w in self._class_windows.items() if keep(k[0], k[1])
             }
+            self._exemplars = {
+                k: links
+                for k, links in self._exemplars.items()
+                if keep(k[0], k[1])
+            }
             if site is None:
                 self._probes.clear()
             else:
@@ -420,6 +506,9 @@ class AccuracyTracker:
             class_items = sorted(self._class_windows.items())
             probe_items = sorted(self._probes.items())
             events = list(self.drift_events)
+            exemplar_items = sorted(
+                (key, list(links)) for key, links in self._exemplars.items()
+            )
         rows = []
         for (site, label, state), window in state_items:
             rows.append(
@@ -440,11 +529,22 @@ class AccuracyTracker:
             }
             for site, readings in probe_items
         }
-        return {
+        payload = {
             "rows": rows,
             "probes": probes,
             "drift_events": [event.to_dict() for event in events],
         }
+        if exemplar_items:
+            # Only present when tracing linked samples to traces, so
+            # trace-free snapshots keep their pre-tracing shape.
+            payload["exemplars"] = {
+                f"{site}/{label}": [
+                    {"rel_err": err, "trace_id": trace_id}
+                    for err, trace_id in links
+                ]
+                for (site, label), links in exemplar_items
+            }
+        return payload
 
 
 def accuracy_table(source: AccuracyTracker | dict) -> str:
@@ -657,6 +757,11 @@ class DriftDetector:
                 tracker, site, label, states_by_class.get(label), probes, now
             )
             if event is not None:
+                # Link the worst recent traces so the postmortem starts
+                # from a concrete span tree, not just window stats.
+                exemplars = tracker.exemplar_trace_ids(site, label)
+                if exemplars:
+                    event.stats["exemplar_traces"] = exemplars
                 self._last_fired[key] = now
                 events.append(event)
         return events
@@ -900,7 +1005,15 @@ def merge_accuracy_snapshots(snapshots: Iterable[dict]) -> dict:
     meta: dict[tuple, tuple] = {}
     probes: dict[str, dict] = {}
     events: list[dict] = []
+    exemplars: dict[str, dict[str, float]] = {}
     for snapshot in snapshots:
+        for key, links in snapshot.get("exemplars", {}).items():
+            best = exemplars.setdefault(key, {})
+            for link in links:
+                err = float(link["rel_err"])
+                trace_id = link["trace_id"]
+                if trace_id not in best or err > best[trace_id]:
+                    best[trace_id] = err
         for row in snapshot.get("rows", ()):
             state = row["state"]
             if isinstance(state, list):
@@ -931,8 +1044,21 @@ def merge_accuracy_snapshots(snapshots: Iterable[dict]) -> dict:
             {"site": site, "class": label, "state": state}
             | merge_window_stats(grouped[key]).to_dict()
         )
-    return {
+    merged = {
         "rows": rows,
         "probes": {site: probes[site] for site in sorted(probes)},
         "drift_events": events,
     }
+    if exemplars:
+        # Same worst-first, capacity-bounded shape as a live snapshot.
+        merged["exemplars"] = {
+            key: [
+                {"rel_err": err, "trace_id": trace_id}
+                for err, trace_id in sorted(
+                    ((err, tid) for tid, err in exemplars[key].items()),
+                    key=lambda pair: (-pair[0], pair[1]),
+                )[: AccuracyTracker.EXEMPLAR_SLOTS]
+            ]
+            for key in sorted(exemplars)
+        }
+    return merged

@@ -48,6 +48,16 @@ class ServingConfig:
     plan_cache: bool = True
     #: Cached plans kept before LRU eviction.
     plan_cache_capacity: int = 1024
+    #: Fraction of traces kept by deterministic head sampling (hash of
+    #: the trace id); failed/timed-out/rejected requests and worst-band
+    #: accuracy exemplars are always kept regardless.  Only consulted
+    #: when a real tracer is installed (``obs.enable``/``set_tracer``).
+    trace_sample_rate: float = 1.0
+    #: Seed salting the trace-id hash, so reruns keep the same set.
+    trace_seed: int = 0
+    #: Prefix for generated trace ids (loadgen shards use ``s{index}-``
+    #: so coordinator-merged traces stay globally unique).
+    trace_id_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -65,3 +75,5 @@ class ServingConfig:
             raise ValueError("deadline_seconds must be positive (or None)")
         if self.plan_cache_capacity < 1:
             raise ValueError("plan_cache_capacity must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")

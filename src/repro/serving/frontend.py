@@ -33,6 +33,22 @@ Every stage is observable through the global metrics registry:
 counters, ``serving.plan_cache.*`` counters, and
 ``serving.{wait,latency}_seconds`` histograms — all of which surface in
 the existing Prometheus/JSON exposition (:mod:`repro.obs.expose`).
+
+With a real tracer installed (``obs.enable`` / ``obs.set_tracer``),
+every ticket additionally carries a **trace id** and a detached
+``serving.request`` root span that survives the submit→worker thread
+hop: ``serving.queue`` measures the time queued (in the tracer's own
+clock), ``serving.plan`` / ``serving.execute`` anchor under the root on
+whichever worker runs the request, and the nested ``mdbs.*`` spans
+carry decision provenance — plan-cache hit/miss reason (eviction cause
+included), active model ``version:form`` tags, estimate vs actual
+seconds.  A deterministic :class:`~repro.obs.tracing.TraceSampler`
+(``trace_sample_rate`` / ``trace_seed``) makes the head decision at
+submission: unsampled requests run with all spans suppressed and record
+nothing, so sampling saves recording cost rather than discarding
+recorded spans.  Failed, timed-out, and rejected requests and requests
+flagged by the accuracy tracker are always kept — fully when sampled;
+as a 1-span root stub, materialized at finish, otherwise.
 """
 
 from __future__ import annotations
@@ -58,6 +74,14 @@ TICKET_STATUSES = (
 )
 
 
+def _trace_query_label(query: GlobalJoinQuery) -> str:
+    """A compact, deterministic query identity for span attributes."""
+    return (
+        f"{query.left_site}.{query.left_table}"
+        f"*{query.right_site}.{query.right_table}"
+    )
+
+
 @dataclass
 class ServingTicket:
     """One submitted request and (eventually) its outcome.
@@ -74,10 +98,20 @@ class ServingTicket:
     error: BaseException | None = None
     #: "cache" | "optimizer" | None (not executed).
     plan_source: str | None = None
+    #: The request's trace id (None when tracing was off at submission).
+    trace_id: str | None = None
+    #: Head-sampling verdict made at submission: True = record the full
+    #: span tree, False = record nothing while running (a 1-span root
+    #: stub materializes at finish if the request fails or gets flagged).
+    trace_sampled: bool = True
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Detached spans opened at submission, closed wherever the request
+    #: finishes (a pool worker, or the submitter on rejection).
+    _root_span: obs.Span | None = field(default=None, repr=False)
+    _queue_span: obs.Span | None = field(default=None, repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the request finishes (True) or *timeout* (False)."""
@@ -172,6 +206,11 @@ class ServingFrontEnd:
         self._next_index = 0
         self._started = False
         self._closed = False
+        #: Deterministic head sampler resolving keep/drop per finished
+        #: trace; failures and flagged requests bypass it (always kept).
+        self.sampler = obs.TraceSampler(
+            rate=self.config.trace_sample_rate, seed=self.config.trace_seed
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -228,6 +267,37 @@ class ServingFrontEnd:
         )
         self._count("submitted")
         obs.inc("serving.submitted")
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            # The root span is detached: entered here on the submitter's
+            # thread, exited on whichever pool worker finishes the
+            # request — the trace survives the thread hop by explicit
+            # parent context, not by thread-stack inheritance.
+            ticket.trace_id = f"{self.config.trace_id_prefix}q{ticket.index:06d}"
+            # The head decision happens here, not at completion: an
+            # unsampled request records nothing at all while it runs
+            # (children suppressed, root materialized lazily at finish
+            # only if the request must be force-kept), so sampling saves
+            # the recording cost instead of discarding spans already
+            # paid for (BENCH_trace_overhead's <5% sampled-vs-off guard
+            # depends on this).
+            ticket.trace_sampled = self.sampler.keep(ticket.trace_id)
+            if ticket.trace_sampled:
+                root = tracer.span(
+                    "serving.request",
+                    trace_id=ticket.trace_id,
+                    detached=True,
+                    index=ticket.index,
+                    query=_trace_query_label(query),
+                    admission_policy=self.config.admission_policy,
+                )
+                root.__enter__()
+                ticket._root_span = root
+                queue_span = tracer.span(
+                    "serving.queue", parent=root.context, detached=True
+                )
+                queue_span.__enter__()
+                ticket._queue_span = queue_span
         if self._in_flight_slots is not None:
             if not self._in_flight_slots.acquire(blocking=blocking):
                 return self._reject(ticket)
@@ -275,8 +345,42 @@ class ServingFrontEnd:
         ticket.finished_at = time.monotonic()
         self._count("rejected")
         obs.inc("serving.rejected")
+        self._finish_trace(ticket, force=True)
         ticket._done.set()
         return ticket
+
+    def _finish_trace(self, ticket: ServingTicket, force: bool = False) -> None:
+        """Close the ticket's detached spans and resolve keep-or-drop."""
+        if ticket.trace_id is None:
+            return
+        root = ticket._root_span
+        if root is not None:
+            queue_span = ticket._queue_span
+            if queue_span is not None and queue_span.end is None:
+                queue_span.__exit__(None, None, None)
+            ticket._queue_span = None
+            root.set_attribute("status", ticket.status)
+            root.__exit__(None, None, None)
+            ticket._root_span = None
+            tracer = root._tracer or obs.get_tracer()
+        else:
+            tracer = obs.get_tracer()
+            if force and tracer.enabled:
+                # An unsampled request that must be kept (failed, timed
+                # out, rejected, or flagged by the accuracy tracker)
+                # materializes its 1-span stub only now — the unsampled
+                # common path records nothing.
+                with tracer.span(
+                    "serving.request",
+                    trace_id=ticket.trace_id,
+                    detached=True,
+                    index=ticket.index,
+                    query=_trace_query_label(ticket.query),
+                    admission_policy=self.config.admission_policy,
+                    status=ticket.status,
+                ):
+                    pass
+        self.sampler.resolve(tracer, ticket.trace_id, force=force)
 
     # -- the worker side ---------------------------------------------------
 
@@ -300,16 +404,50 @@ class ServingFrontEnd:
             ticket.finished_at = now
             self._count("timed_out")
             obs.inc("serving.timed_out")
+            self._finish_trace(ticket, force=True)
             ticket._done.set()
             return
         ticket.started_at = now
         ticket.status = "running"
+        root = ticket._root_span
+        queue_span = ticket._queue_span
+        if queue_span is not None:
+            # Queue wait in the *tracer's* clock: real seconds under
+            # perf_counter, 0.0 under a simulated clock — which is what
+            # keeps merged loadgen traces byte-identical across runs.
+            queue_span.__exit__(None, None, None)
+            ticket._queue_span = None
+        parent = root.context if root is not None else None
+        # Plain begin/end suppression (not a context manager): this is
+        # the per-request fast path the sampled-overhead guard budgets.
+        suppress_tracer = (
+            obs.get_tracer()
+            if ticket.trace_id is not None and not ticket.trace_sampled
+            else None
+        )
         with self._stats_lock:
             self._executing += 1
             obs.set_gauge("serving.in_flight", self._executing)
         try:
-            plan, source = self._plan_for(ticket.query)
-            execution = self.server.execute(ticket.query, plan)
+            token = (
+                suppress_tracer.suppress_begin(ticket.trace_id)
+                if suppress_tracer is not None
+                else None
+            )
+            try:
+                with obs.span("serving.plan", parent=parent) as plan_span:
+                    plan, source = self._plan_for(ticket.query, span=plan_span)
+                with obs.span("serving.execute", parent=parent) as exec_span:
+                    execution = self.server.execute(ticket.query, plan)
+                    if exec_span.recording:
+                        exec_span.set_attributes(
+                            estimated_seconds=execution.estimated_seconds,
+                            observed_seconds=execution.observed_seconds,
+                            models=self._model_attr(execution.plan),
+                        )
+            finally:
+                if suppress_tracer is not None:
+                    suppress_tracer.suppress_end(token)
             ticket.execution = execution
             ticket.plan_source = source
             ticket.status = "completed"
@@ -318,6 +456,8 @@ class ServingFrontEnd:
         except Exception as exc:  # a failed request must not kill its worker
             ticket.error = exc
             ticket.status = "failed"
+            if root is not None:
+                root.set_attribute("error", type(exc).__name__)
             self._count("failed")
             obs.inc("serving.failed")
         finally:
@@ -326,24 +466,77 @@ class ServingFrontEnd:
                 obs.set_gauge("serving.in_flight", self._executing)
             ticket.finished_at = time.monotonic()
             obs.observe("serving.wait_seconds", ticket.wait_seconds or 0.0)
-            obs.observe("serving.latency_seconds", ticket.latency_seconds or 0.0)
+            obs.observe(
+                "serving.latency_seconds",
+                ticket.latency_seconds or 0.0,
+                exemplar=ticket.trace_id,
+            )
+            force = ticket.status in ("failed", "timed_out") or (
+                ticket.trace_id is not None
+                and self.server.accuracy.is_flagged(ticket.trace_id)
+            )
+            self._finish_trace(ticket, force=force)
             ticket._done.set()
 
     # -- planning ----------------------------------------------------------
 
-    def _plan_for(self, query: GlobalJoinQuery) -> tuple[GlobalPlan | None, str]:
+    def _plan_for(
+        self, query: GlobalJoinQuery, span: "obs.Span | None" = None
+    ) -> tuple[GlobalPlan | None, str]:
         """(plan, source) — None defers to ``server.execute``'s own
         optimize call, keeping the cache-off path byte-identical to the
-        synchronous server."""
+        synchronous server.  *span* (the enclosing ``serving.plan``
+        span, when recording) receives the decision provenance: cache
+        hit or the concrete miss reason, the chosen join site, the
+        estimate, and the model version/form tags behind it."""
+        span = span if span is not None else obs.NOOP_SPAN
         if self.plan_cache is None:
             return None, "optimizer"
-        cached = self.plan_cache.get(query, self._resolve_state)
+        cached, reason = self.plan_cache.lookup(query, self._resolve_state)
         if cached is not None:
+            if span.recording:
+                span.set_attributes(
+                    source="cache",
+                    cache="hit",
+                    join_site=cached.join_site,
+                    estimated_seconds=cached.estimated_seconds,
+                    models=self._model_attr(cached),
+                )
             return cached, "cache"
-        candidates = self.server.optimizer().plans(query)
-        chosen = min(candidates, key=lambda p: p.estimated_seconds)
+        with obs.span("mdbs.optimize") as opt_span:
+            candidates = self.server.optimizer().plans(query)
+            chosen = min(candidates, key=lambda p: p.estimated_seconds)
+            if opt_span.recording:
+                opt_span.set_attribute("candidates", len(candidates))
         self.plan_cache.put(query, candidates, chosen)
+        if span.recording:
+            span.set_attributes(
+                source="optimizer",
+                cache=reason,
+                join_site=chosen.join_site,
+                estimated_seconds=chosen.estimated_seconds,
+                models=self._model_attr(chosen),
+            )
         return chosen, "optimizer"
+
+    def _model_attr(self, plan: GlobalPlan | None) -> str:
+        """The plan's model dependencies as ``site/class=vN:form`` tags."""
+        if plan is None:
+            return ""
+        tags: list[str] = []
+        seen: set[tuple[str, str]] = set()
+        for estimate in plan.estimates:
+            if estimate.site is None or estimate.class_label is None:
+                continue
+            key = (estimate.site, estimate.class_label)
+            if key in seen:
+                continue
+            seen.add(key)
+            tag = self.server.model_tag(estimate.site, estimate.class_label)
+            if tag is not None:
+                version, form = tag[0], tag[1]
+                tags.append(f"{key[0]}/{key[1]}=v{version}:{form}")
+        return ",".join(sorted(tags))
 
     def _resolve_state(self, site: str, class_label: str) -> int | None:
         """The contention state the active model resolves to right now.

@@ -90,6 +90,10 @@ class PlanCache:
         self._deps: dict[tuple, DepKey] = {}
         #: (site, class) -> full keys of the plans depending on it.
         self._by_model: dict[tuple[str, str], set[tuple]] = {}
+        #: query_key -> why its plans last left the cache ("capacity" or
+        #: "invalidated:<site>/<class>"), for miss provenance in traces.
+        #: Bounded LRU; cleared again the next time the query is cached.
+        self._evicted: "OrderedDict[tuple, str]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -117,30 +121,50 @@ class PlanCache:
         outside the cache lock: resolving a state may execute a probing
         query through the probing service.
         """
+        return self.lookup(query, resolve_state)[0]
+
+    def lookup(
+        self,
+        query: GlobalJoinQuery,
+        resolve_state: Callable[[str, str], int | None],
+    ) -> tuple[GlobalPlan | None, str]:
+        """:meth:`get` plus *why*: ``(plan, reason)``.
+
+        Reasons: ``"hit"``; ``"cold"`` (query never planned here);
+        ``"unresolved"`` (a dependency's contention state would not
+        resolve); ``"model_missing"`` (a dependency's model is gone);
+        ``"capacity"`` / ``"invalidated:<site>/<class>"`` (the entry was
+        evicted and why); ``"state_changed"`` (cached, but under other
+        contention states / model tags).  Trace spans record the reason
+        as plan provenance; counters are identical to :meth:`get`.
+        """
         qkey = query_key(query)
         with self._lock:
             deps = self._deps.get(qkey)
         if deps is None:
-            return self._miss()
+            return self._miss(), "cold"
         states: list[tuple] = []
         for site, label in deps:
             state = resolve_state(site, label)
             if state is None:
-                return self._miss()
+                return self._miss(), "unresolved"
             tag = self._tag_for(site, label)
             if tag is None:
-                return self._miss()
+                return self._miss(), "model_missing"
             states.append((site, label, state) + tag)
         full_key = (qkey, tuple(states))
+        cause = None
         with self._lock:
             plan = self._plans.get(full_key)
             if plan is not None:
                 self._plans.move_to_end(full_key)
                 self.hits += 1
+            else:
+                cause = self._evicted.get(qkey)
         if plan is None:
-            return self._miss()
+            return self._miss(), (cause or "state_changed")
         obs.inc("serving.plan_cache.hits")
-        return plan
+        return plan, "hit"
 
     def put(
         self,
@@ -178,6 +202,7 @@ class PlanCache:
         full_key = (qkey, states)
         with self._lock:
             self._deps[qkey] = deps
+            self._evicted.pop(qkey, None)
             if full_key not in self._plans:
                 while len(self._plans) >= self.capacity:
                     self._evict_oldest_locked()
@@ -197,8 +222,10 @@ class PlanCache:
         """
         with self._lock:
             keys = self._by_model.pop((site, class_label), set())
+            cause = f"invalidated:{site}/{class_label}"
             for full_key in keys:
                 self._remove_locked(full_key)
+                self._record_eviction_locked(full_key[0], cause)
             count = len(keys)
             self.invalidated += count
         if count:
@@ -210,6 +237,7 @@ class PlanCache:
             self._plans.clear()
             self._deps.clear()
             self._by_model.clear()
+            self._evicted.clear()
 
     def close(self) -> None:
         """Detach from the registry's event stream."""
@@ -235,14 +263,24 @@ class PlanCache:
         obs.inc("serving.plan_cache.misses")
         return None
 
+    #: Eviction causes remembered for miss provenance (bounded LRU).
+    EVICTION_CAUSES_KEPT = 512
+
     def _evict_oldest_locked(self) -> None:
         full_key, _ = self._plans.popitem(last=False)
         for dep in self._deps.get(full_key[0], ()):
             holders = self._by_model.get(dep)
             if holders is not None:
                 holders.discard(full_key)
+        self._record_eviction_locked(full_key[0], "capacity")
         self.evictions += 1
         obs.inc("serving.plan_cache.evictions")
+
+    def _record_eviction_locked(self, qkey: tuple, cause: str) -> None:
+        self._evicted[qkey] = cause
+        self._evicted.move_to_end(qkey)
+        while len(self._evicted) > self.EVICTION_CAUSES_KEPT:
+            self._evicted.popitem(last=False)
 
     def _remove_locked(self, full_key: tuple) -> None:
         self._plans.pop(full_key, None)

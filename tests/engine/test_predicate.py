@@ -191,6 +191,30 @@ class TestExtractKeyRange:
         rng, _ = extract_key_range(p, "a")
         assert rng.low == 7 and rng.low_inclusive
 
+    def test_equality_never_loosens_an_exclusive_bound(self):
+        # a<1 AND a=1 is empty: the range must stay [1, 1), not widen
+        # to the point [1, 1] (regression: the = branch used to flip an
+        # exclusive bound at the same key back to inclusive).
+        rng, _ = extract_key_range(
+            And(Comparison("a", "<", 1), Comparison("a", "=", 1)), "a"
+        )
+        assert rng == KeyRange(1, 1, True, False)
+        rng, _ = extract_key_range(
+            And(Comparison("a", ">", 1), Comparison("a", "=", 1)), "a"
+        )
+        assert rng == KeyRange(1, 1, False, True)
+
+    def test_equality_intersects_with_disjoint_bounds(self):
+        # a=5 AND a<3: the bounds cross, so the range selects nothing.
+        rng, _ = extract_key_range(
+            And(Comparison("a", "=", 5), Comparison("a", "<", 3)), "a"
+        )
+        assert rng.low > rng.high
+        rng, _ = extract_key_range(
+            And(Comparison("a", "=", 2), Comparison("a", "=", 4)), "a"
+        )
+        assert rng.low > rng.high
+
     def test_key_range_flags(self):
         assert KeyRange(1, 1).is_point
         assert KeyRange(1, None).is_bounded

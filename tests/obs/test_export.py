@@ -3,16 +3,22 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.obs.export import (
     metrics_table,
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
     summary_table,
     to_jsonl,
     tree_lines,
     write_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
 
 
 def record_small_trace(tracer):
@@ -35,6 +41,7 @@ class TestJsonl:
                 "name",
                 "span_id",
                 "parent_id",
+                "trace_id",
                 "start",
                 "end",
                 "duration",
@@ -68,6 +75,53 @@ class TestJsonl:
             pass
         (line,) = to_jsonl(tracer).splitlines()
         assert "object object" in json.loads(line)["attributes"]["obj"]
+
+
+#: JSON-representable attribute values (what instrumented code attaches).
+_attr_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+_spans = st.builds(
+    Span,
+    name=st.text(min_size=1, max_size=30),
+    attributes=st.dictionaries(
+        st.text(min_size=1, max_size=15), _attr_values, max_size=4
+    ),
+    span_id=st.integers(min_value=1, max_value=2**31),
+    parent_id=st.one_of(st.none(), st.integers(min_value=1, max_value=2**31)),
+    trace_id=st.one_of(st.none(), st.text(max_size=24)),
+    start=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    end=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+    ),
+    thread=st.text(max_size=20),
+)
+
+
+class TestJsonlRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(spans=st.lists(_spans, max_size=8))
+    def test_export_import_round_trip(self, spans, tmp_path_factory):
+        """write_jsonl -> read_jsonl preserves every span field exactly
+        (the contract cross-process trace merging rests on)."""
+        path = tmp_path_factory.mktemp("trace") / "roundtrip.jsonl"
+        assert write_jsonl(spans, path) == len(spans)
+        recovered = read_jsonl(path)
+        assert [span_to_dict(s) for s in recovered] == [
+            span_to_dict(s) for s in spans
+        ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(span=_spans)
+    def test_dict_round_trip_is_exact(self, span):
+        assert span_to_dict(span_from_dict(span_to_dict(span))) == span_to_dict(
+            span
+        )
 
 
 class TestSummaryTable:

@@ -3,10 +3,13 @@
 The determinism guard is an ISSUE acceptance criterion: a pool at
 concurrency 1 with the plan cache off must produce byte-identical plan
 choices (and results) to the synchronous ``MDBSServer.execute`` path.
+The tracing tests pin the other acceptance criterion: one *connected*
+span tree per request, across the submit→worker thread hop.
 """
 
 import pytest
 
+from repro import obs
 from repro.mdbs.gquery import GlobalJoinQuery
 from repro.serving import ServingConfig, ServingFrontEnd
 
@@ -98,6 +101,160 @@ class TestConcurrentServing:
         assert ticket.wait_seconds is not None and ticket.wait_seconds >= 0.0
         assert ticket.latency_seconds is not None
         assert ticket.latency_seconds >= ticket.wait_seconds
+
+
+class TestTracing:
+    def test_each_request_yields_one_connected_tree(self, serving_mdbs):
+        """Acceptance: through a multi-worker pool, every ticket's spans
+        form a single tree rooted at its detached ``serving.request``."""
+        server, _ = serving_mdbs
+        config = ServingConfig(workers=4, trace_id_prefix="t-")
+        with obs.recording() as tracer:
+            with ServingFrontEnd(server, config) as frontend:
+                tickets = frontend.serve(query_mix())
+        assert all(t.ok for t in tickets)
+        for ticket in tickets:
+            assert ticket.trace_id == f"t-q{ticket.index:06d}"
+            spans = tracer.trace(ticket.trace_id)
+            by_id = {s.span_id: s for s in spans}
+            roots = [s for s in spans if s.parent_id is None]
+            assert [r.name for r in roots] == ["serving.request"]
+            for span in spans:
+                # Every span's parent chain ends at the root: no orphans,
+                # even for spans recorded on a different worker thread.
+                seen = set()
+                while span.parent_id is not None:
+                    assert span.span_id not in seen
+                    seen.add(span.span_id)
+                    span = by_id[span.parent_id]
+                assert span.name == "serving.request"
+            names = {s.name for s in spans}
+            assert {"serving.queue", "serving.plan", "serving.execute"} <= names
+            root = roots[0]
+            assert root.attributes["status"] == "completed"
+
+    def test_plan_spans_carry_decision_provenance(self, serving_mdbs):
+        server, _ = serving_mdbs
+        config = ServingConfig(workers=1)
+        with obs.recording() as tracer:
+            with ServingFrontEnd(server, config) as frontend:
+                [first] = frontend.serve(query_mix()[:1])
+                [repeat] = frontend.serve(query_mix()[:1])
+
+        def plan_span(ticket):
+            return next(
+                s
+                for s in tracer.trace(ticket.trace_id)
+                if s.name == "serving.plan"
+            )
+
+        miss, hit = plan_span(first), plan_span(repeat)
+        assert miss.attributes["source"] == "optimizer"
+        assert miss.attributes["cache"] != "hit"
+        assert hit.attributes["source"] == "cache"
+        assert hit.attributes["cache"] == "hit"
+        for attrs in (miss.attributes, hit.attributes):
+            assert attrs["join_site"]
+            assert attrs["estimated_seconds"] > 0.0
+            assert ":" in attrs["models"]  # site/class=vN:form tags
+        # The execute span pairs the estimate with the observed outcome.
+        exec_span = next(
+            s
+            for s in tracer.trace(first.trace_id)
+            if s.name == "serving.execute"
+        )
+        assert "estimated_seconds" in exec_span.attributes
+        assert "observed_seconds" in exec_span.attributes
+
+    def test_unsampled_requests_record_nothing(self, serving_mdbs):
+        server, _ = serving_mdbs
+        config = ServingConfig(workers=2, trace_sample_rate=0.0)
+        with obs.recording() as tracer:
+            with ServingFrontEnd(server, config) as frontend:
+                tickets = frontend.serve(query_mix())
+                dropped = frontend.sampler.dropped
+        assert all(t.ok for t in tickets)
+        assert all(t.trace_id is not None for t in tickets)
+        assert not any(t.trace_sampled for t in tickets)
+        assert tracer.finished() == []
+        assert dropped == len(tickets)
+
+    def test_failed_request_is_force_kept_as_a_stub(self, serving_mdbs):
+        server, _ = serving_mdbs
+        bad = GlobalJoinQuery("oracle_site", "R1", "db2_site", "NOPE", "a4", "a4")
+        config = ServingConfig(workers=1, trace_sample_rate=0.0)
+        with obs.recording() as tracer:
+            with ServingFrontEnd(server, config) as frontend:
+                [ticket] = frontend.serve([bad])
+                forced = frontend.sampler.forced
+        assert ticket.status == "failed"
+        (stub,) = tracer.trace(ticket.trace_id)
+        assert stub.name == "serving.request"
+        assert stub.attributes["status"] == "failed"
+        assert forced == 1
+
+    def test_kept_set_is_identical_at_any_worker_count(self, serving_mdbs):
+        """Deterministic sampling: same seed + same trace ids => the same
+        kept subset, no matter how the pool schedules the requests."""
+        server, _ = serving_mdbs
+        queries = query_mix() * 4
+        kept_sets = []
+        for workers in (1, 4):
+            config = ServingConfig(
+                workers=workers, trace_sample_rate=0.5, trace_seed=3
+            )
+            with obs.recording() as tracer:
+                with ServingFrontEnd(server, config) as frontend:
+                    tickets = frontend.serve(queries)
+            assert all(t.ok for t in tickets)
+            # The hash-kept set is the deterministic contract; accuracy
+            # force-keeps may legitimately differ with pool interleaving
+            # (the shared tracker sees samples in a different order).
+            kept = {t.trace_id for t in tickets if t.trace_sampled}
+            retained = {s.trace_id for s in tracer.finished() if s.trace_id}
+            assert kept <= retained  # every kept trace still has spans
+            kept_sets.append(kept)
+        assert kept_sets[0] == kept_sets[1]
+        assert 0 < len(kept_sets[0]) < len(queries)
+
+    def test_drift_exemplar_resolves_to_a_full_span_tree(self, serving_mdbs):
+        """Integration: the trace id a drift event embeds as an exemplar
+        points at a trace the sampler kept — the postmortem handle."""
+        from repro.obs.quality import DriftDetector, DriftPolicy
+
+        server, _ = serving_mdbs
+        config = ServingConfig(workers=2)
+        with obs.recording() as tracer:
+            with ServingFrontEnd(server, config) as frontend:
+                tickets = frontend.serve(query_mix())
+            # A burst of out-of-band samples against one served trace:
+            # the worst-error exemplar slot now holds its trace id.
+            victim = tickets[0]
+            for _ in range(32):
+                server.accuracy.record(
+                    "oracle_site",
+                    "G1",
+                    0,
+                    predicted=1.0,
+                    actual=16.0,
+                    trace_id=victim.trace_id,
+                )
+            detector = DriftDetector(
+                DriftPolicy(min_samples=12, probe_escape_fraction=None)
+            )
+            events = detector.check(
+                server.accuracy, "oracle_site", {"G1": 0}, now=0.0
+            )
+        assert events, "the bad-sample burst raised no drift event"
+        exemplars = events[0].stats.get("exemplar_traces")
+        assert exemplars and victim.trace_id in exemplars
+        spans = tracer.trace(victim.trace_id)
+        assert {s.name for s in spans} >= {
+            "serving.request",
+            "serving.queue",
+            "serving.plan",
+            "serving.execute",
+        }
 
 
 class TestLifecycle:
